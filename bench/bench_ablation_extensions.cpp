@@ -1,0 +1,89 @@
+// E10 — §VIII ablations: (A) leader pre-communication excluding
+// low-value transactions under a DoS-like workload; (B) parallelized
+// block generation removing the O(mn) broadcast from the referee
+// committee.
+#include <cstdio>
+
+#include "protocol/engine.hpp"
+
+using namespace cyc;
+
+namespace {
+
+struct Row {
+  std::size_t committed = 0;
+  std::uint64_t inter_bytes = 0;
+  std::uint64_t referee_block_bytes = 0;
+  std::uint64_t leader_block_bytes = 0;
+};
+
+Row measure(bool precomm, bool parallel_blocks, double invalid_fraction,
+            std::uint64_t seed) {
+  protocol::Params params;
+  params.m = 3;
+  params.c = 9;
+  params.lambda = 2;
+  params.referee_size = 5;
+  params.txs_per_committee = 12;
+  params.cross_shard_fraction = 0.5;
+  params.invalid_fraction = invalid_fraction;
+  params.seed = seed;
+  protocol::EngineOptions opts;
+  opts.extension_precommunication = precomm;
+  opts.extension_parallel_blocks = parallel_blocks;
+  protocol::Engine engine(params, protocol::AdversaryConfig{}, opts);
+  const auto report = engine.run_round();
+  Row row;
+  row.committed = report.txs_committed;
+  for (const auto& [role, phases] : report.traffic_by_role_phase) {
+    const auto& inter =
+        phases[static_cast<std::size_t>(net::Phase::kInterConsensus)];
+    row.inter_bytes +=
+        inter.bytes_sent * report.role_counts.at(role);
+    const auto& block = phases[static_cast<std::size_t>(net::Phase::kBlock)];
+    if (role == protocol::Role::kReferee) {
+      row.referee_block_bytes = block.bytes_sent;
+    }
+    if (role == protocol::Role::kLeader) {
+      row.leader_block_bytes = block.bytes_sent;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== VIII-A: leader pre-communication under DoS workloads ===\n");
+  std::printf("%-14s %-12s %-12s %-16s %-16s\n", "invalid frac", "base commit",
+              "ext commit", "base inter B", "ext inter B");
+  for (double invalid : {0.0, 0.25, 0.5, 0.75}) {
+    const Row base = measure(false, false, invalid, 31);
+    const Row ext = measure(true, false, invalid, 31);
+    std::printf("%-14.2f %-12zu %-12zu %-16llu %-16llu\n", invalid,
+                base.committed, ext.committed,
+                (unsigned long long)base.inter_bytes,
+                (unsigned long long)ext.inter_bytes);
+  }
+  std::printf(
+      "Shape check: as the invalid fraction rises, pre-communication cuts\n"
+      "inter-committee bytes (invalid txs never enter the two-committee\n"
+      "consensus) without losing valid throughput.\n");
+
+  std::printf("\n=== VIII-B: parallelized block generation ===\n");
+  std::printf("%-12s %-12s %-22s %-22s\n", "mode", "committed",
+              "referee block bytes/node", "leader block bytes/node");
+  const Row base = measure(false, false, 0.0, 33);
+  const Row parallel = measure(false, true, 0.0, 33);
+  std::printf("%-12s %-12zu %-22llu %-22llu\n", "baseline", base.committed,
+              (unsigned long long)base.referee_block_bytes,
+              (unsigned long long)base.leader_block_bytes);
+  std::printf("%-12s %-12zu %-22llu %-22llu\n", "parallel",
+              parallel.committed,
+              (unsigned long long)parallel.referee_block_bytes,
+              (unsigned long long)parallel.leader_block_bytes);
+  std::printf(
+      "Shape check: the O(mn) broadcast burden moves off the referee\n"
+      "committee onto the (parallel) committee leaders, as §VIII-B argues.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E11 — Table I row 8 ("Burden on Connection"): reliable channels needed
+// by CycLedger's hierarchical topology vs the all-pairs clique the other
+// protocols assume.
+#include <cstdio>
+#include <initializer_list>
+
+#include "net/topology.hpp"
+
+using namespace cyc;
+
+int main() {
+  std::printf("=== Connection burden: hierarchical vs clique ===\n");
+  std::printf("%-8s %-8s %-8s %-14s %-14s %-8s\n", "n", "m", "c",
+              "CycLedger", "clique", "ratio");
+  for (std::uint64_t m : {4u, 8u, 16u, 32u, 64u}) {
+    net::TopologyParams p;
+    p.m = m;
+    p.c = 125;
+    p.n = p.m * p.c;
+    p.lambda = 40;
+    p.referees = 125;
+    const auto hier = net::cycledger_channels(p);
+    const auto clique = net::clique_channels(p);
+    std::printf("%-8llu %-8llu %-8llu %-14llu %-14llu %-8.2f\n",
+                (unsigned long long)p.n, (unsigned long long)m,
+                (unsigned long long)p.c, (unsigned long long)hier.total(),
+                (unsigned long long)clique,
+                static_cast<double>(clique) / static_cast<double>(hier.total()));
+  }
+
+  net::TopologyParams p;
+  p.m = 16;
+  p.c = 125;
+  p.n = 2000;
+  p.lambda = 40;
+  p.referees = 125;
+  const auto breakdown = net::cycledger_channels(p);
+  std::printf("\nBreakdown at the paper's scale (n=2000, m=16, lambda=40):\n");
+  std::printf("  intra-committee cliques : %llu\n",
+              (unsigned long long)breakdown.intra_committee);
+  std::printf("  key-member mesh         : %llu\n",
+              (unsigned long long)breakdown.key_mesh);
+  std::printf("  key-to-referee links    : %llu\n",
+              (unsigned long long)breakdown.key_to_referee);
+  std::printf("  referee clique          : %llu\n",
+              (unsigned long long)breakdown.referee_clique);
+  std::printf("  total                   : %llu  (clique: %llu)\n",
+              (unsigned long long)breakdown.total(),
+              (unsigned long long)net::clique_channels(p));
+  std::printf(
+      "\nShape check: the hierarchy needs several times fewer reliable\n"
+      "channels, and the gap widens with n ('light' vs 'heavy' in Table I).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E9 — §IV-D inter-committee consensus: cost and latency of cross-shard
+// transactions as the cross-shard fraction and the committee count vary.
+#include <cstdio>
+
+#include "protocol/engine.hpp"
+
+using namespace cyc;
+
+namespace {
+
+struct Row {
+  double cross_committed = 0;
+  double intra_committed = 0;
+  double inter_msgs = 0;
+  double latency = 0;
+};
+
+Row measure(std::uint32_t m, double cross_fraction, std::uint64_t seed) {
+  protocol::Params params;
+  params.m = m;
+  params.c = 9;
+  params.lambda = 2;
+  params.referee_size = 5;
+  params.txs_per_committee = 12;
+  params.cross_shard_fraction = cross_fraction;
+  params.invalid_fraction = 0.0;
+  params.users = 24 * m;
+  params.seed = seed;
+  protocol::Engine engine(params, protocol::AdversaryConfig{});
+  const auto report = engine.run_round();
+  Row row;
+  row.cross_committed = static_cast<double>(report.cross_committed);
+  row.intra_committed = static_cast<double>(report.intra_committed);
+  row.latency = report.round_latency;
+  for (const auto& [role, phases] : report.traffic_by_role_phase) {
+    row.inter_msgs += static_cast<double>(
+        phases[static_cast<std::size_t>(net::Phase::kInterConsensus)]
+            .msgs_sent *
+        report.role_counts.at(role));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Cross-shard handling: sweep over cross fraction (m=4) ===\n");
+  std::printf("%-12s %-10s %-10s %-14s\n", "cross frac", "cross/rnd",
+              "intra/rnd", "inter msgs");
+  for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const Row row = measure(4, frac, 11);
+    std::printf("%-12.1f %-10.0f %-10.0f %-14.0f\n", frac,
+                row.cross_committed, row.intra_committed, row.inter_msgs);
+  }
+
+  std::printf("\n=== Sweep over committee count (cross fraction 0.3) ===\n");
+  std::printf("%-6s %-10s %-14s %-12s\n", "m", "cross/rnd", "inter msgs",
+              "latency");
+  for (std::uint32_t m : {2u, 4u, 6u, 8u}) {
+    const Row row = measure(m, 0.3, 13);
+    std::printf("%-6u %-10.0f %-14.0f %-12.1f\n", m, row.cross_committed,
+                row.inter_msgs, row.latency);
+  }
+
+  std::printf(
+      "\nShape check: inter-committee traffic grows with the cross-shard\n"
+      "fraction and with m (two Alg. 3 instances plus certified transfers\n"
+      "per committee pair); intra throughput falls as the mix shifts.\n"
+      "Round latency stays flat — cross-shard work is parallel across\n"
+      "committees, the paper's central scalability argument.\n");
+  return 0;
+}

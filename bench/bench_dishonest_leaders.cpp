@@ -1,0 +1,85 @@
+// E7 — Table I row 6 ("High Efficiency w.r.t Dishonest Leaders"): the
+// full message-level engine under an increasing fraction of corrupted
+// leaders, with the recovery procedure on (CycLedger) and off
+// (RapidChain-like), same seeds.
+#include <cstdio>
+
+#include "protocol/engine.hpp"
+
+using namespace cyc;
+
+namespace {
+
+struct Outcome {
+  double committed_frac = 0.0;
+  double recoveries = 0.0;
+  double latency = 0.0;
+  std::size_t invalid_committed = 0;
+};
+
+Outcome measure(double bad_leader_fraction, bool recovery,
+                std::uint64_t seed) {
+  protocol::Params params;
+  params.m = 4;
+  params.c = 9;
+  params.lambda = 3;
+  params.referee_size = 5;
+  params.txs_per_committee = 10;
+  params.cross_shard_fraction = 0.25;
+  params.invalid_fraction = 0.0;
+  params.seed = seed;
+  protocol::AdversaryConfig adv;
+  adv.forced_corrupt_leader_fraction = bad_leader_fraction;
+  protocol::EngineOptions opts;
+  opts.recovery_enabled = recovery;
+  protocol::Engine engine(params, adv, opts);
+  const auto report = engine.run_round();
+  Outcome out;
+  out.committed_frac = report.txs_offered == 0
+                           ? 0.0
+                           : static_cast<double>(report.txs_committed) /
+                                 static_cast<double>(report.txs_offered);
+  out.recoveries = static_cast<double>(report.recoveries);
+  out.latency = report.round_latency;
+  out.invalid_committed = report.invalid_committed;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Throughput vs corrupted-leader fraction (m=4) ===\n");
+  std::printf("%-10s | %-12s %-10s | %-12s %-10s | %-8s\n", "bad frac",
+              "CycLedger", "recoveries", "RapidChain*", "recoveries",
+              "ratio");
+  const int seeds = 5;
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    double cyc = 0, cyc_rec = 0, rc = 0;
+    std::size_t violations = 0;
+    for (int s = 0; s < seeds; ++s) {
+      const auto a = measure(frac, true, 100 + s);
+      const auto b = measure(frac, false, 100 + s);
+      cyc += a.committed_frac;
+      cyc_rec += a.recoveries;
+      rc += b.committed_frac;
+      violations += a.invalid_committed + b.invalid_committed;
+    }
+    cyc /= seeds;
+    cyc_rec /= seeds;
+    rc /= seeds;
+    std::printf("%-10.2f | %-11.1f%% %-10.1f | %-11.1f%% %-10.1f | %-8.2f\n",
+                frac, 100 * cyc, cyc_rec, 100 * rc, 0.0,
+                rc > 0 ? cyc / rc : 0.0);
+    if (violations != 0) {
+      std::printf("  !! safety violations detected: %zu\n", violations);
+    }
+  }
+  std::printf(
+      "\n* RapidChain-like = same engine with the recovery procedure\n"
+      "  disabled: a corrupted leader silences its committee for the round.\n"
+      "Shape check (paper): CycLedger stays near 100%% at every corruption\n"
+      "level (leaders are evicted and replaced within the round); the\n"
+      "baseline loses throughput roughly linearly in the corrupted\n"
+      "fraction. Crossover: none — CycLedger weakly dominates.\n");
+  return 0;
+}

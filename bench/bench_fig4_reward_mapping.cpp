@@ -1,0 +1,43 @@
+// E3 — Fig. 4: the monotone function g(x) mapping reputation to a
+// positive number (Eq. 2), plus the reward-distribution and
+// leader-punishment properties built on it (§IV-G, §VII-B).
+#include <cstdio>
+#include <vector>
+
+#include "protocol/reputation.hpp"
+
+using namespace cyc;
+
+int main() {
+  std::printf("=== Fig. 4: reward mapping g(x) (Eq. 2) ===\n");
+  std::printf("%-8s %-12s\n", "x", "g(x)");
+  for (double x = -5.0; x <= 5.0 + 1e-9; x += 0.5) {
+    std::printf("%-8.2f %-12.6f\n", x, protocol::g(x));
+  }
+
+  std::printf("\nProperties the paper highlights:\n");
+  std::printf("  g(0) = %.4f (zero-reputation nodes still earn a little)\n",
+              protocol::g(0.0));
+  std::printf("  g(-5) = %.6f (negative reputation maps to ~0)\n",
+              protocol::g(-5.0));
+  std::printf("  monotone: doing nothing beats doing something bad\n");
+
+  std::printf("\n=== Reward split for a 100-fee round ===\n");
+  const std::vector<double> reps = {-2.0, -0.5, 0.0, 0.5, 2.0, 8.0};
+  const auto rewards = protocol::distribute_rewards(reps, 100.0);
+  std::printf("%-12s %-12s %-12s\n", "reputation", "g(rep)", "reward");
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    std::printf("%-12.2f %-12.4f %-12.4f\n", reps[i], protocol::g(reps[i]),
+                rewards[i]);
+  }
+
+  std::printf("\n=== Leader punishment (cube root, Section VII-B) ===\n");
+  std::printf("%-12s %-12s %-14s %-22s\n", "rep before", "rep after",
+              "g-ratio", "(paper: ~1/3 for large rep)");
+  for (double rep : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const double after = protocol::punish_leader(rep);
+    std::printf("%-12.1f %-12.3f %-14.3f\n", rep, after,
+                protocol::g(after) / protocol::g(rep));
+  }
+  return 0;
+}

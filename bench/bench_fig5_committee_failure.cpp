@@ -1,0 +1,46 @@
+// E4 — Fig. 5: probability of failure in sampling one committee from a
+// population of 2000 nodes with 666 malicious, as a function of the
+// committee size c. Prints the exact hypergeometric tail (the figure's
+// curve), the paper's two analytic bounds, and a Monte-Carlo overlay
+// where the probability is large enough to sample.
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+
+using namespace cyc;
+
+int main() {
+  const std::uint64_t n = 2000, t = 666, m = 20;
+
+  std::printf("=== Fig. 5: committee sampling failure (n=%llu, t=%llu) ===\n",
+              (unsigned long long)n, (unsigned long long)t);
+  std::printf("%-6s %-14s %-14s %-14s %-14s\n", "c", "exact", "KL-bound",
+              "e^{-c/12}", "MonteCarlo");
+
+  rng::Stream rng(42);
+  for (std::uint64_t c = 20; c <= 300; c += 20) {
+    const double exact = analysis::committee_failure_exact(n, t, c);
+    const double kl = analysis::committee_failure_kl_bound(n, t, c);
+    const double simple = analysis::committee_failure_simple_bound(c);
+    if (exact > 1e-5) {
+      const double mc =
+          analysis::committee_failure_monte_carlo(n, t, c, 400000, rng);
+      std::printf("%-6llu %-14.4e %-14.4e %-14.4e %-14.4e\n",
+                  (unsigned long long)c, exact, kl, simple, mc);
+    } else {
+      std::printf("%-6llu %-14.4e %-14.4e %-14.4e %-14s\n",
+                  (unsigned long long)c, exact, kl, simple, "(too rare)");
+    }
+  }
+
+  const double p240 = analysis::committee_failure_exact(n, t, 240);
+  std::printf("\nSpot checks vs the paper's text (Section V-B):\n");
+  std::printf("  c=240 exact failure:        %.4e  (paper: <2.1e-9; same"
+              " order, see EXPERIMENTS.md)\n", p240);
+  std::printf("  union bound over m=%llu:      %.4e  (paper: <=5e-8)\n",
+              (unsigned long long)m, static_cast<double>(m) * p240);
+  std::printf(
+      "\nShape check: exponential decay in c, exact curve below the KL\n"
+      "Chernoff bound everywhere; e^{-c/12} tracks the decay rate.\n");
+  return 0;
+}

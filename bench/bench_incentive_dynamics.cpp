@@ -1,0 +1,109 @@
+// E12 — §VII incentives: reputation tracks trusty computing power.
+// Heterogeneous vote capacities, reward share vs capacity, honest vs
+// misbehaving earnings, and the reputation-ranked leader selection
+// ablation.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "protocol/engine.hpp"
+
+using namespace cyc;
+
+int main() {
+  // --- Capacity sweep: higher capacity -> more judged txs -> higher
+  // cosine scores -> larger reward share. ---
+  protocol::Params params;
+  params.m = 3;
+  params.c = 10;
+  params.lambda = 2;
+  params.referee_size = 5;
+  params.txs_per_committee = 32;
+  params.cross_shard_fraction = 0.2;
+  params.invalid_fraction = 0.1;
+  params.capacity_min = 2;   // weakest node judges 2 txs per list
+  params.capacity_max = 40;  // strongest judges them all
+  params.seed = 21;
+  protocol::Engine engine(params, protocol::AdversaryConfig{});
+  const auto report = engine.run(6);
+
+  // Bucket nodes by capacity quartile.
+  std::map<int, std::pair<double, int>> buckets;  // quartile -> (rep sum, n)
+  for (net::NodeId id = 0; id < engine.node_count(); ++id) {
+    const int quartile =
+        static_cast<int>((engine.capacity_of(id) - params.capacity_min) * 4 /
+                         (params.capacity_max - params.capacity_min + 1));
+    buckets[quartile].first += report.final_reputations[id];
+    buckets[quartile].second += 1;
+  }
+  std::printf("=== Reputation vs vote capacity (4 rounds, honest nodes) ===\n");
+  std::printf("%-20s %-10s %-14s\n", "capacity quartile", "nodes",
+              "avg reputation");
+  const char* names[] = {"weakest 25%", "25-50%", "50-75%", "strongest 25%"};
+  for (const auto& [quartile, bucket] : buckets) {
+    std::printf("%-20s %-10d %-14.3f\n",
+                names[std::min(quartile, 3)], bucket.second,
+                bucket.first / bucket.second);
+  }
+
+  // --- Honest vs misbehaving earnings. ---
+  protocol::AdversaryConfig adv;
+  adv.corrupt_fraction = 0.25;
+  adv.mix = {{protocol::Behavior::kInverseVoter, 1.0}};
+  protocol::Params params2 = params;
+  params2.capacity_min = params2.capacity_max = 32;
+  params2.seed = 22;
+  protocol::Engine engine2(params2, adv);
+  const auto report2 = engine2.run(4);
+  double honest_rep = 0, honest_reward = 0, bad_rep = 0, bad_reward = 0;
+  int honest_n = 0, bad_n = 0;
+  for (std::size_t i = 0; i < report2.final_reputations.size(); ++i) {
+    if (report2.behaviors[i] == protocol::Behavior::kHonest) {
+      honest_rep += report2.final_reputations[i];
+      honest_reward += report2.final_rewards[i];
+      ++honest_n;
+    } else {
+      bad_rep += report2.final_reputations[i];
+      bad_reward += report2.final_rewards[i];
+      ++bad_n;
+    }
+  }
+  std::printf("\n=== Earnings: honest vs inverse voters (25%% corrupt) ===\n");
+  std::printf("%-12s %-8s %-14s %-14s\n", "class", "nodes", "avg rep",
+              "avg reward");
+  std::printf("%-12s %-8d %-14.3f %-14.3f\n", "honest", honest_n,
+              honest_rep / honest_n, honest_reward / honest_n);
+  std::printf("%-12s %-8d %-14.3f %-14.3f\n", "misbehaving", bad_n,
+              bad_rep / bad_n, bad_reward / bad_n);
+
+  // --- Ablation: reputation-ranked vs uniform leader selection with
+  // sticky corrupt nodes. ---
+  std::printf("\n=== Ablation: leader selection policy (sticky equivocators) "
+              "===\n");
+  std::printf("%-22s %-16s %-16s\n", "policy", "recoveries r1",
+              "recoveries r2-4");
+  for (bool ranked : {true, false}) {
+    protocol::AdversaryConfig adv2;
+    adv2.corrupt_fraction = 0.25;
+    adv2.mix = {{protocol::Behavior::kEquivocator, 1.0}};
+    protocol::EngineOptions opts;
+    opts.reputation_leader_selection = ranked;
+    protocol::Params params3 = params;
+    params3.seed = 23;
+    protocol::Engine engine3(params3, adv2, opts);
+    const auto report3 = engine3.run(4);
+    std::size_t late = 0;
+    for (std::size_t i = 1; i < report3.rounds.size(); ++i) {
+      late += report3.rounds[i].recoveries;
+    }
+    std::printf("%-22s %-16zu %-16zu\n",
+                ranked ? "reputation-ranked" : "uniform",
+                report3.rounds[0].recoveries, late);
+  }
+  std::printf(
+      "\nShape check: reputation rises with capacity; honest nodes out-earn\n"
+      "misbehaving ones; reputation-ranked selection stops re-drawing\n"
+      "convicted leaders in later rounds while uniform keeps paying the\n"
+      "recovery cost.\n");
+  return 0;
+}

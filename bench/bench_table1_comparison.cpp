@@ -1,0 +1,68 @@
+// E1 — Table I: comparison of CycLedger with Elastico / OmniLedger /
+// RapidChain. Prints the analytic rows of the table plus a behavioural
+// dishonest-leader sweep on the shared baseline models.
+#include <cstdio>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "net/topology.hpp"
+
+using namespace cyc;
+
+int main() {
+  baselines::BaselineParams params;
+  params.n = 2000;
+  params.m = 16;
+  params.c = 125;
+  params.lambda = 40;
+  params.corrupt_leader_fraction = 1.0 / 3.0;
+  params.txs_per_committee = 100;
+
+  std::printf("=== Table I: comparison of sharding protocols ===\n");
+  std::printf("(n=%llu, m=%llu, c=%llu, lambda=%llu)\n\n",
+              (unsigned long long)params.n, (unsigned long long)params.m,
+              (unsigned long long)params.c, (unsigned long long)params.lambda);
+
+  auto models = baselines::all_models(params);
+  std::printf("%-14s %-11s %-12s %-14s %-10s %-12s %-10s %-30s\n", "Protocol",
+              "Resiliency", "FailProb", "Storage[u]", "BadLdrOK", "Incentives",
+              "Channels", "Decentralization");
+  for (const auto& model : models) {
+    const auto profile = model->profile();
+    std::printf("%-14s t<%.3fn    %-12.3e %-14.1f %-10s %-12s %-10.2e %-30s\n",
+                profile.name.c_str(), profile.resiliency,
+                profile.round_failure_prob, profile.storage_units,
+                profile.dishonest_leader_efficient ? "yes" : "no",
+                profile.has_incentives ? "yes" : "no",
+                static_cast<double>(profile.reliable_channels),
+                profile.decentralization.c_str());
+  }
+
+  std::printf(
+      "\n=== Behavioural check: throughput under 1/3 dishonest leaders ===\n");
+  std::printf("%-14s %-14s %-14s %-12s %-10s\n", "Protocol", "Committed/round",
+              "of possible", "Stalled/rnd", "Latency");
+  const double full =
+      static_cast<double>(params.m * params.txs_per_committee);
+  const int rounds = 200;
+  for (const auto& model : models) {
+    rng::Stream rng(1234);
+    double committed = 0, stalled = 0, latency = 0;
+    for (int round = 0; round < rounds; ++round) {
+      const auto r = model->simulate_round(rng);
+      committed += static_cast<double>(r.txs_committed);
+      stalled += static_cast<double>(r.committees_stalled);
+      latency += r.latency;
+    }
+    std::printf("%-14s %-14.1f %-13.1f%% %-12.2f %-10.3f\n",
+                model->profile().name.c_str(), committed / rounds,
+                100.0 * committed / rounds / full, stalled / rounds,
+                latency / rounds);
+  }
+
+  std::printf(
+      "\nShape check (paper row 6): CycLedger sustains ~100%% of possible\n"
+      "throughput under dishonest leaders; Elastico/RapidChain lose ~1/3;\n"
+      "OmniLedger survives only via its trusted client at a latency cost.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Cross-shard payments: the workload the paper's introduction motivates.
+// Builds a network where most transfers cross shard boundaries, follows
+// one payment through the inter-committee consensus (§IV-D), and shows
+// the semi-commitment verification that secures it.
+#include <cstdio>
+
+#include "ledger/validator.hpp"
+#include "protocol/engine.hpp"
+#include "protocol/semicommit.hpp"
+
+using namespace cyc;
+
+int main() {
+  protocol::Params params;
+  params.m = 4;
+  params.c = 10;
+  params.lambda = 3;
+  params.referee_size = 7;
+  params.txs_per_committee = 16;
+  params.cross_shard_fraction = 0.7;  // mostly cross-shard traffic
+  params.invalid_fraction = 0.0;
+  params.seed = 99;
+
+  protocol::Engine engine(params, protocol::AdversaryConfig{});
+  std::printf("cross-shard payment network: %u shards, 70%% cross traffic\n\n",
+              params.m);
+
+  // Demonstrate the semi-commitment machinery the cross-shard path
+  // relies on: a committee's member list binds to H(S).
+  {
+    std::vector<crypto::PublicKey> members;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      members.push_back(crypto::KeyPair::from_seed(i).pk);
+    }
+    const auto commitment = protocol::semi_commitment(members);
+    std::printf("semi-commitment demo:\n");
+    std::printf("  SEMI_COM = %s...\n",
+                to_hex(crypto::digest_to_bytes(commitment)).substr(0, 16).c_str());
+    std::printf("  honest list verifies: %s\n",
+                protocol::verify_semi_commitment(commitment, members) ? "yes"
+                                                                      : "no");
+    auto forged = members;
+    forged.pop_back();
+    std::printf("  forged list detected: %s\n\n",
+                !protocol::verify_semi_commitment(commitment, forged) ? "yes"
+                                                                      : "no");
+  }
+
+  std::size_t total_cross = 0, total_intra = 0;
+  for (int round = 0; round < 4; ++round) {
+    const auto report = engine.run_round();
+    total_cross += report.cross_committed;
+    total_intra += report.intra_committed;
+    std::printf("round %llu: %zu cross-shard and %zu intra-shard payments "
+                "settled (%zu recoveries)\n",
+                (unsigned long long)report.round, report.cross_committed,
+                report.intra_committed, report.recoveries);
+  }
+
+  std::printf("\ntotal settled: %zu cross-shard, %zu intra-shard\n",
+              total_cross, total_intra);
+  std::printf("every cross-shard payment carried: an origin-committee\n"
+              "quorum certificate, checked against the origin's\n"
+              "semi-commitment, then a destination-committee acceptance\n"
+              "certificate — both re-verified by the referee committee.\n");
+  return total_cross > 0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Dishonest-leader recovery: the paper's headline capability. Corrupts
+// committee leaders with every misbehaviour the threat model describes
+// and watches the recovery procedure (Alg. 6) evict them mid-round while
+// the block still fills.
+#include <cstdio>
+
+#include "protocol/engine.hpp"
+
+using namespace cyc;
+
+int main() {
+  std::printf("=== CycLedger under dishonest leaders ===\n\n");
+
+  // All four leaders corrupted, one of each misbehaviour (the forced
+  // assignment cycles equivocator / commit-forger / crash / concealer).
+  protocol::Params params;
+  params.m = 4;
+  params.c = 10;
+  params.lambda = 3;
+  params.referee_size = 7;
+  params.txs_per_committee = 12;
+  params.cross_shard_fraction = 0.3;
+  params.invalid_fraction = 0.0;
+  params.seed = 7;
+
+  protocol::AdversaryConfig adversary;
+  adversary.forced_corrupt_leader_fraction = 1.0;
+
+  protocol::Engine engine(params, adversary);
+  std::printf("round-1 leaders and their (hidden) behaviours:\n");
+  for (const auto& committee : engine.assignment().committees) {
+    std::printf("  committee %u: node %u -> %s\n", committee.id,
+                committee.leader,
+                std::string(behavior_name(engine.behavior_of(committee.leader)))
+                    .c_str());
+  }
+
+  const auto report = engine.run_round();
+  std::printf("\nround 1 outcome:\n");
+  std::printf("  committed: %zu of %zu offered\n", report.txs_committed,
+              report.txs_offered);
+  std::printf("  recoveries: %zu\n", report.recoveries);
+  for (const auto& event : report.recovery_events) {
+    std::printf("    committee %u: leader %u evicted, partial-set member %u "
+                "took over\n",
+                event.committee, event.old_leader, event.new_leader);
+  }
+  std::printf("  safety violations: %zu (must be 0)\n",
+              report.invalid_committed);
+
+  std::printf("\nround 2 (reputation-ranked selection avoids the convicts):\n");
+  const auto round2 = engine.run_round();
+  std::printf("  committed: %zu, recoveries: %zu\n", round2.txs_committed,
+              round2.recoveries);
+
+  std::printf(
+      "\nCompare: the same network WITHOUT the recovery procedure\n"
+      "(RapidChain-like behaviour) loses every corrupted committee:\n");
+  protocol::EngineOptions no_recovery;
+  no_recovery.recovery_enabled = false;
+  protocol::Engine baseline(params, adversary, no_recovery);
+  const auto stalled = baseline.run_round();
+  std::printf("  committed: %zu of %zu offered, recoveries: %zu\n",
+              stalled.txs_committed, stalled.txs_offered, stalled.recoveries);
+
+  return (report.txs_committed > stalled.txs_committed &&
+          report.invalid_committed == 0)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,111 @@
+// Network explorer: a small CLI for driving the simulator from the
+// command line — sweep parameters without writing code.
+//
+//   ./network_explorer [options]
+//     --m N          committees (default 4)
+//     --c N          committee size (default 10)
+//     --lambda N     partial-set size (default 3)
+//     --rounds N     rounds to run (default 5)
+//     --corrupt F    corrupted node fraction (default 0)
+//     --bad-leaders F  forced corrupt-leader fraction (default off)
+//     --cross F      cross-shard fraction (default 0.25)
+//     --invalid F    invalid-tx fraction (default 0.05)
+//     --seed N       RNG seed (default 1)
+//     --no-recovery  disable the recovery procedure
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "protocol/engine.hpp"
+
+using namespace cyc;
+
+namespace {
+
+double arg_f(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+long arg_i(int argc, char** argv, const char* name, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  protocol::Params params;
+  params.m = static_cast<std::uint32_t>(arg_i(argc, argv, "--m", 4));
+  params.c = static_cast<std::uint32_t>(arg_i(argc, argv, "--c", 10));
+  params.lambda =
+      static_cast<std::uint32_t>(arg_i(argc, argv, "--lambda", 3));
+  params.referee_size = 7;
+  params.txs_per_committee = 12;
+  params.cross_shard_fraction = arg_f(argc, argv, "--cross", 0.25);
+  params.invalid_fraction = arg_f(argc, argv, "--invalid", 0.05);
+  params.seed = static_cast<std::uint64_t>(arg_i(argc, argv, "--seed", 1));
+  const auto rounds =
+      static_cast<std::size_t>(arg_i(argc, argv, "--rounds", 5));
+
+  protocol::AdversaryConfig adversary;
+  adversary.corrupt_fraction = arg_f(argc, argv, "--corrupt", 0.0);
+  adversary.forced_corrupt_leader_fraction =
+      arg_f(argc, argv, "--bad-leaders", -1.0);
+
+  protocol::EngineOptions options;
+  options.recovery_enabled = !arg_flag(argc, argv, "--no-recovery");
+
+  protocol::Engine engine(params, adversary, options);
+  std::printf(
+      "CycLedger explorer: n=%u (m=%u x c=%u + %u referees), "
+      "corrupt=%.2f, recovery=%s\n\n",
+      params.total_nodes(), params.m, params.c, params.referee_size,
+      adversary.corrupt_fraction, options.recovery_enabled ? "on" : "off");
+
+  std::printf("%-6s %-10s %-9s %-9s %-8s %-10s %-9s %-10s %-8s\n", "round",
+              "committed", "intra", "cross", "rej.inv", "recoveries",
+              "void?", "msgs", "fees");
+  std::size_t violations = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto report = engine.run_round();
+    violations += report.invalid_committed;
+    std::printf("%-6llu %-10zu %-9zu %-9zu %-8zu %-10zu %-9s %-10llu %-8.0f\n",
+                (unsigned long long)report.round, report.txs_committed,
+                report.intra_committed, report.cross_committed,
+                report.invalid_rejected, report.recoveries,
+                report.block_void ? "VOID" : "no",
+                (unsigned long long)report.traffic_total.msgs_sent,
+                report.total_fees);
+  }
+
+  std::printf("\nchain height %zu, valid: %s; safety violations: %zu\n",
+              engine.chain().height(),
+              engine.chain().validate() ? "yes" : "NO", violations);
+
+  // Reputation leaderboard.
+  std::vector<std::pair<double, net::NodeId>> board;
+  for (net::NodeId id = 0; id < engine.node_count(); ++id) {
+    board.emplace_back(engine.reputation(id), id);
+  }
+  std::sort(board.rbegin(), board.rend());
+  std::printf("\ntop-5 reputation: ");
+  for (int i = 0; i < 5 && i < static_cast<int>(board.size()); ++i) {
+    std::printf("node %u (%.2f)  ", board[static_cast<std::size_t>(i)].second,
+                board[static_cast<std::size_t>(i)].first);
+  }
+  std::printf("\n");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace cyc::analysis {
+
+double committee_failure_exact(std::uint64_t n, std::uint64_t t,
+                               std::uint64_t c) {
+  const std::uint64_t x0 = (c + 1) / 2;  // ceil(c/2)
+  return math::hypergeometric_tail(n, t, c, x0);
+}
+
+double committee_failure_kl_bound(std::uint64_t n, std::uint64_t t,
+                                  std::uint64_t c) {
+  const double f = static_cast<double>(t) / static_cast<double>(n) +
+                   1.0 / static_cast<double>(c);
+  if (f >= 0.5) return 1.0;
+  return math::kl_tail_bound(f, static_cast<double>(c));
+}
+
+double committee_failure_simple_bound(std::uint64_t c) {
+  return math::simple_tail_bound(static_cast<double>(c));
+}
+
+double partial_set_failure(double f, std::uint64_t lambda) {
+  return std::pow(f, static_cast<double>(lambda));
+}
+
+double committee_failure_monte_carlo(std::uint64_t n, std::uint64_t t,
+                                     std::uint64_t c, std::uint64_t trials,
+                                     rng::Stream& rng) {
+  std::uint64_t failures = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    // Sample c nodes without replacement via sequential (hypergeometric)
+    // draws: remaining marked / remaining total.
+    std::uint64_t marked = t;
+    std::uint64_t total = n;
+    std::uint64_t bad = 0;
+    for (std::uint64_t i = 0; i < c; ++i) {
+      if (rng.below(total) < marked) {
+        ++bad;
+        --marked;
+      }
+      --total;
+    }
+    if (bad * 2 >= c) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+double elastico_round_failure(const ProtocolParamsView& p) {
+  return std::min(1.0, static_cast<double>(p.m) *
+                           std::exp(-static_cast<double>(p.c) / 40.0));
+}
+
+double omniledger_round_failure(const ProtocolParamsView& p) {
+  return elastico_round_failure(p);
+}
+
+double rapidchain_round_failure(const ProtocolParamsView& p) {
+  return std::min(1.0, static_cast<double>(p.m) *
+                               std::exp(-static_cast<double>(p.c) / 12.0) +
+                           std::pow(0.5, 27.0));
+}
+
+double cycledger_round_failure(const ProtocolParamsView& p) {
+  return std::min(
+      1.0, static_cast<double>(p.m) *
+               (std::exp(-static_cast<double>(p.c) / 12.0) +
+                std::pow(1.0 / 3.0, static_cast<double>(p.lambda))));
+}
+
+double elastico_storage(const ProtocolParamsView& p) {
+  return static_cast<double>(p.n);
+}
+
+double omniledger_storage(const ProtocolParamsView& p) {
+  return static_cast<double>(p.c) +
+         std::log2(static_cast<double>(p.m) + 1.0);
+}
+
+double rapidchain_storage(const ProtocolParamsView& p) {
+  return static_cast<double>(p.c);
+}
+
+double cycledger_storage(const ProtocolParamsView& p) {
+  return static_cast<double>(p.m) * static_cast<double>(p.m) /
+             static_cast<double>(p.n) +
+         static_cast<double>(p.c);
+}
+
+}  // namespace cyc::analysis

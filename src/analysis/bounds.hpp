@@ -1,0 +1,69 @@
+// Analytic security bounds of §V and the failure-probability rows of
+// Table I. Everything here is a pure function of the protocol
+// parameters, computed exactly (log-space) so it can be cross-checked
+// against Monte-Carlo measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace cyc::analysis {
+
+/// Probability that a uniformly sampled committee of size c from a
+/// population of n nodes containing t malicious ones has a faulty
+/// majority (X >= c/2). Exact hypergeometric tail (Eq. 3 / Fig. 5).
+double committee_failure_exact(std::uint64_t n, std::uint64_t t,
+                               std::uint64_t c);
+
+/// The paper's KL-divergence Chernoff bound e^{-D(1/2 || f) c} where
+/// f = t/n + 1/c (Eq. 3 right-hand side).
+double committee_failure_kl_bound(std::uint64_t n, std::uint64_t t,
+                                  std::uint64_t c);
+
+/// The simplified bound e^{-c/12} of Eq. (4), valid for t < n/3.
+double committee_failure_simple_bound(std::uint64_t c);
+
+/// Probability that a partial set of size lambda has no honest member
+/// when each slot is filled by a malicious node with probability f:
+/// f^lambda ((1/3)^lambda in §V-C).
+double partial_set_failure(double f, std::uint64_t lambda);
+
+/// Monte-Carlo estimate of committee_failure_exact by sampling
+/// committees without replacement; used to validate the analytic tail.
+double committee_failure_monte_carlo(std::uint64_t n, std::uint64_t t,
+                                     std::uint64_t c, std::uint64_t trials,
+                                     rng::Stream& rng);
+
+// --- Table I per-protocol failure formulas (per round) ---
+
+struct ProtocolParamsView {
+  std::uint64_t n = 0;       ///< total nodes
+  std::uint64_t m = 0;       ///< committees
+  std::uint64_t c = 0;       ///< committee size
+  std::uint64_t lambda = 0;  ///< partial-set size
+};
+
+/// Elastico / OmniLedger: Theta(m e^{-c/40}) with a 1/4 adversary
+/// (their committees tolerate t < c/2 with resiliency 1/4 -> exponent
+/// c/40 per the papers' parameterization).
+double elastico_round_failure(const ProtocolParamsView& p);
+double omniledger_round_failure(const ProtocolParamsView& p);
+
+/// RapidChain: m e^{-c/12} + (1/2)^27 (Table I).
+double rapidchain_round_failure(const ProtocolParamsView& p);
+
+/// CycLedger: m (e^{-c/12} + (1/3)^lambda) (Table I).
+double cycledger_round_failure(const ProtocolParamsView& p);
+
+/// Asymptotic storage per node (in "units"; Table I row 3):
+/// Elastico O(n); OmniLedger O(c + log m); RapidChain O(c);
+/// CycLedger O(m^2/n + c).
+double elastico_storage(const ProtocolParamsView& p);
+double omniledger_storage(const ProtocolParamsView& p);
+double rapidchain_storage(const ProtocolParamsView& p);
+double cycledger_storage(const ProtocolParamsView& p);
+
+}  // namespace cyc::analysis

@@ -1,0 +1,150 @@
+#include "analysis/complexity.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cyc::analysis {
+
+using net::Phase;
+using protocol::Role;
+
+std::string complexity_name(Complexity c) {
+  switch (c) {
+    case Complexity::kConstant: return "O(1)";
+    case Complexity::kC: return "O(c)";
+    case Complexity::kC2: return "O(c^2)";
+    case Complexity::kM: return "O(m)";
+    case Complexity::kM2: return "O(m^2)";
+    case Complexity::kN: return "O(n)";
+    case Complexity::kMN: return "O(mn)";
+    case Complexity::kNone: return "-";
+  }
+  return "?";
+}
+
+Complexity expected_comm(Phase phase, Role role) {
+  const bool key = role == Role::kLeader || role == Role::kPartial;
+  switch (phase) {
+    case Phase::kCommitteeConfig:
+      if (role == Role::kCommon) return Complexity::kC;
+      if (key) return Complexity::kC2;
+      return Complexity::kNone;
+    case Phase::kSemiCommit:
+      if (role == Role::kCommon) return Complexity::kNone;
+      if (key) return Complexity::kC;
+      return Complexity::kM2;
+    case Phase::kIntraConsensus:
+      if (role == Role::kCommon) return Complexity::kC;
+      if (key) return Complexity::kC;
+      return Complexity::kN;
+    case Phase::kInterConsensus:
+      if (role == Role::kCommon) return Complexity::kM;
+      if (key) return Complexity::kN;
+      return Complexity::kN;
+    case Phase::kReputation:
+      if (role == Role::kCommon) return Complexity::kC;
+      if (key) return Complexity::kC;
+      return Complexity::kN;
+    case Phase::kSelection:
+      if (role == Role::kReferee) return Complexity::kN;
+      return Complexity::kNone;
+    case Phase::kBlock:
+      if (role == Role::kCommon) return Complexity::kM;
+      if (key) return Complexity::kN;
+      return Complexity::kMN;
+    default:
+      return Complexity::kNone;
+  }
+}
+
+Complexity expected_storage(Phase phase, Role role) {
+  const bool key = role == Role::kLeader || role == Role::kPartial;
+  switch (phase) {
+    case Phase::kCommitteeConfig:
+      if (role == Role::kCommon) return Complexity::kC;
+      if (key) return Complexity::kC2;
+      return Complexity::kNone;
+    case Phase::kSemiCommit:
+      if (key) return Complexity::kM;
+      if (role == Role::kReferee) return Complexity::kM;
+      return Complexity::kNone;
+    case Phase::kIntraConsensus:
+      if (role == Role::kCommon) return Complexity::kConstant;
+      if (key) return Complexity::kC;
+      return Complexity::kN;
+    case Phase::kInterConsensus:
+      if (role == Role::kCommon) return Complexity::kConstant;
+      if (key) return Complexity::kConstant;
+      return Complexity::kN;
+    case Phase::kReputation:
+      if (role == Role::kCommon) return Complexity::kConstant;
+      if (key) return Complexity::kC;
+      return Complexity::kN;
+    case Phase::kSelection:
+      if (role == Role::kReferee) return Complexity::kN;
+      return Complexity::kNone;
+    case Phase::kBlock:
+      if (role == Role::kCommon) return Complexity::kC;
+      if (key) return Complexity::kC;
+      return Complexity::kN;
+    default:
+      return Complexity::kNone;
+  }
+}
+
+double complexity_value(Complexity c, double n, double m, double cc) {
+  switch (c) {
+    case Complexity::kConstant: return 1.0;
+    case Complexity::kC: return cc;
+    case Complexity::kC2: return cc * cc;
+    case Complexity::kM: return m;
+    case Complexity::kM2: return m * m;
+    case Complexity::kN: return n;
+    case Complexity::kMN: return m * n;
+    case Complexity::kNone: return 1.0;
+  }
+  return 1.0;
+}
+
+Complexity classify_scaling(const std::vector<double>& n,
+                            const std::vector<double>& m,
+                            const std::vector<double>& c,
+                            const std::vector<double>& y) {
+  if (n.size() != y.size() || m.size() != y.size() || c.size() != y.size() ||
+      y.size() < 2) {
+    throw std::invalid_argument("classify_scaling: mismatched inputs");
+  }
+  static constexpr Complexity kCandidates[] = {
+      Complexity::kConstant, Complexity::kC, Complexity::kC2, Complexity::kM,
+      Complexity::kM2,       Complexity::kN, Complexity::kMN};
+  Complexity best = Complexity::kConstant;
+  double best_residual = std::numeric_limits<double>::infinity();
+  for (Complexity candidate : kCandidates) {
+    // Optimal constant in log space is the mean of log(y/f); residual is
+    // the variance around it.
+    double mean = 0.0;
+    std::vector<double> logs(y.size());
+    bool ok = true;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const double f = complexity_value(candidate, n[i], m[i], c[i]);
+      if (y[i] <= 0.0 || f <= 0.0) {
+        ok = false;
+        break;
+      }
+      logs[i] = std::log(y[i] / f);
+      mean += logs[i];
+    }
+    if (!ok) continue;
+    mean /= static_cast<double>(y.size());
+    double residual = 0.0;
+    for (double lg : logs) residual += (lg - mean) * (lg - mean);
+    if (residual < best_residual) {
+      best_residual = residual;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace cyc::analysis

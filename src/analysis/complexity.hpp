@@ -1,0 +1,44 @@
+// Table II complexity accounting: theoretical per-phase / per-role
+// communication & storage classes, plus a fitting helper that classifies
+// measured scaling against the O(.) classes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/stats.hpp"
+#include "protocol/roles.hpp"
+
+namespace cyc::analysis {
+
+enum class Complexity : std::uint8_t {
+  kConstant,   // O(1)
+  kC,          // O(c)
+  kC2,         // O(c^2)
+  kM,          // O(m)
+  kM2,         // O(m^2)
+  kN,          // O(n)
+  kMN,         // O(mn)
+  kNone,       // "-" in Table II
+};
+
+std::string complexity_name(Complexity c);
+
+/// Table II, communication column: expected class for (phase, role).
+Complexity expected_comm(net::Phase phase, protocol::Role role);
+/// Table II, storage column.
+Complexity expected_storage(net::Phase phase, protocol::Role role);
+
+/// Evaluate the class at concrete (n, m, c) for curve comparison.
+double complexity_value(Complexity c, double n, double m, double cc);
+
+/// Given measurements y_i at parameters (n_i, m_i, c_i), return the
+/// Table II class whose shape best matches (minimal log-space residual
+/// after optimal constant scaling).
+Complexity classify_scaling(const std::vector<double>& n,
+                            const std::vector<double>& m,
+                            const std::vector<double>& c,
+                            const std::vector<double>& y);
+
+}  // namespace cyc::analysis

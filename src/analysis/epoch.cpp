@@ -1,0 +1,32 @@
+#include "analysis/epoch.hpp"
+
+#include <cmath>
+
+namespace cyc::analysis {
+
+double epoch_failure(double per_round, std::uint64_t rounds) {
+  if (per_round <= 0.0) return 0.0;
+  if (per_round >= 1.0) return 1.0;
+  // 1 - (1-p)^R via expm1/log1p for precision at tiny p.
+  return -std::expm1(static_cast<double>(rounds) * std::log1p(-per_round));
+}
+
+double rounds_to_failure(double per_round, double target) {
+  if (per_round <= 0.0) return 1e18;
+  if (per_round >= 1.0) return 1.0;
+  if (target <= 0.0) return 0.0;
+  if (target >= 1.0) return 1e18;
+  return std::log1p(-target) / std::log1p(-per_round);
+}
+
+double elastico_epoch_failure(const ProtocolParamsView& p,
+                              std::uint64_t rounds) {
+  return epoch_failure(elastico_round_failure(p), rounds);
+}
+
+double cycledger_epoch_failure(const ProtocolParamsView& p,
+                               std::uint64_t rounds) {
+  return epoch_failure(cycledger_round_failure(p), rounds);
+}
+
+}  // namespace cyc::analysis

@@ -1,0 +1,29 @@
+// Epoch-level failure analysis: the paper's per-round failure
+// probabilities compounded over many rounds (the comparison Elastico is
+// criticised with: "97% failure over only 6 epochs" at 16 shards).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/bounds.hpp"
+
+namespace cyc::analysis {
+
+/// Probability that at least one of `rounds` independent rounds fails,
+/// given a per-round failure probability. Computed in log space so tiny
+/// per-round probabilities stay exact.
+double epoch_failure(double per_round, std::uint64_t rounds);
+
+/// Rounds until the cumulative failure probability reaches `target`
+/// (e.g. 0.5 for the median time-to-failure). Returns a large sentinel
+/// (1e18) when per_round is ~0.
+double rounds_to_failure(double per_round, double target);
+
+/// The Elastico criticism reproduced: per-round failure of a protocol
+/// with the given Table I formula over `rounds` epochs.
+double elastico_epoch_failure(const ProtocolParamsView& p,
+                              std::uint64_t rounds);
+double cycledger_epoch_failure(const ProtocolParamsView& p,
+                               std::uint64_t rounds);
+
+}  // namespace cyc::analysis

@@ -1,0 +1,119 @@
+// Behavioural baseline models of the protocols CycLedger is compared
+// against in Table I: Elastico, OmniLedger and RapidChain.
+//
+// These are deliberately simplified round models (not full message-level
+// simulations): they capture exactly the properties Table I compares —
+// resiliency, per-round failure probability, storage, connection burden,
+// behaviour under dishonest leaders, and incentives — on the same
+// workload abstraction as the CycLedger engine, so the comparison
+// benches can sweep all four protocols uniformly. See DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "support/rng.hpp"
+
+namespace cyc::baselines {
+
+struct BaselineParams {
+  std::uint64_t n = 2000;    ///< total nodes
+  std::uint64_t m = 16;      ///< committees
+  std::uint64_t c = 125;     ///< committee size
+  std::uint64_t lambda = 40; ///< partial-set size (CycLedger only)
+  double corrupt_fraction = 1.0 / 3.0;
+  double corrupt_leader_fraction = 1.0 / 3.0;  ///< expected bad leaders
+  std::uint32_t txs_per_committee = 100;
+  std::uint64_t seed = 1;
+};
+
+struct BaselineRound {
+  std::size_t txs_committed = 0;
+  std::size_t committees_stalled = 0;  ///< lost output to a bad leader
+  std::size_t recoveries = 0;
+  double latency = 1.0;  ///< round time in abstract units (1 = nominal)
+};
+
+struct BaselineProfile {
+  std::string name;
+  double resiliency = 0.0;           ///< tolerated adversary fraction
+  double round_failure_prob = 0.0;   ///< Table I row 4
+  double storage_units = 0.0;        ///< Table I row 3
+  std::uint64_t reliable_channels = 0;  ///< Table I row 8 (burden)
+  bool dishonest_leader_efficient = false;  ///< Table I row 6
+  bool has_incentives = false;              ///< Table I row 7
+  std::string decentralization;             ///< Table I row 5
+};
+
+/// Interface every compared protocol implements.
+class BaselineModel {
+ public:
+  explicit BaselineModel(BaselineParams params) : params_(params) {}
+  virtual ~BaselineModel() = default;
+
+  virtual BaselineProfile profile() const = 0;
+
+  /// One abstract round: which committees produce output and how long
+  /// the round takes, given the dishonest-leader draw.
+  virtual BaselineRound simulate_round(rng::Stream& rng) = 0;
+
+  const BaselineParams& params() const { return params_; }
+
+ protected:
+  /// Draw the number of committees whose leader is corrupt this round.
+  std::size_t draw_bad_leaders(rng::Stream& rng) const;
+
+  BaselineParams params_;
+};
+
+/// Elastico: 1/4 resiliency, ~100-node committees, PoW identities; no
+/// recovery — a bad directory/leader voids the committee's output. The
+/// final consensus committee re-broadcasts everything (heavy clique).
+class ElasticoModel final : public BaselineModel {
+ public:
+  using BaselineModel::BaselineModel;
+  BaselineProfile profile() const override;
+  BaselineRound simulate_round(rng::Stream& rng) override;
+};
+
+/// OmniLedger: 1/4 resiliency; cross-shard handling depends on a trusted
+/// client to orchestrate the Atomix protocol — with the client present,
+/// bad leaders delay but do not void output (retry at latency cost).
+class OmniLedgerModel final : public BaselineModel {
+ public:
+  explicit OmniLedgerModel(BaselineParams params, bool trusted_client = true)
+      : BaselineModel(params), trusted_client_(trusted_client) {}
+  BaselineProfile profile() const override;
+  BaselineRound simulate_round(rng::Stream& rng) override;
+
+ private:
+  bool trusted_client_;
+};
+
+/// RapidChain: 1/3 resiliency, efficient when leaders are honest; a
+/// malicious committee leader stalls that committee for the round (no
+/// partial set, no recovery) — the Table I row 6 weakness.
+class RapidChainModel final : public BaselineModel {
+ public:
+  using BaselineModel::BaselineModel;
+  BaselineProfile profile() const override;
+  BaselineRound simulate_round(rng::Stream& rng) override;
+};
+
+/// CycLedger's abstract counterpart (for uniform sweeps; the real
+/// message-level engine lives in src/protocol): bad leaders are evicted
+/// by the recovery procedure at a bounded latency cost, output survives.
+class CycLedgerModel final : public BaselineModel {
+ public:
+  using BaselineModel::BaselineModel;
+  BaselineProfile profile() const override;
+  BaselineRound simulate_round(rng::Stream& rng) override;
+};
+
+/// All four models for sweep loops.
+std::vector<std::unique_ptr<BaselineModel>> all_models(BaselineParams params);
+
+}  // namespace cyc::baselines

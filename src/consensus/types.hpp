@@ -1,0 +1,98 @@
+// Shared types for the inside-committee consensus (Algorithm 3, Fig. 3).
+//
+// The consensus logic itself is pure (no networking): the protocol engine
+// feeds incoming signed messages in and transports the produced payloads.
+// This separation makes every consensus rule unit-testable without a
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace cyc::consensus {
+
+/// Identifies one consensus instance: (round, sequence number). The paper
+/// requires sn to be "unique and monotonically increasing over time".
+struct InstanceId {
+  std::uint64_t round = 0;
+  std::uint64_t sn = 0;
+
+  bool operator==(const InstanceId&) const = default;
+  auto operator<=>(const InstanceId&) const = default;
+};
+
+/// The leader's PROPOSE body: <r, sn, H(M)> plus the original M.
+struct Propose {
+  InstanceId id;
+  crypto::Digest digest{};  ///< H(M)
+  Bytes message;            ///< M
+
+  /// Signed portion: <PROPOSE, r, sn, H(M)>.
+  Bytes signed_part() const;
+  Bytes serialize() const;
+  static Propose deserialize(BytesView b);
+};
+
+/// A member's ECHO body: <r, sn, H(M), i>, carrying the relayed PROPOSE.
+struct Echo {
+  InstanceId id;
+  crypto::Digest digest{};
+  std::uint64_t member = 0;           ///< echoing member index
+  crypto::SignedMessage propose_sig;  ///< relayed signed PROPOSE
+
+  Bytes signed_part() const;
+  Bytes serialize() const;
+  static Echo deserialize(BytesView b);
+};
+
+/// A member's CONFIRM: <r, sn, H(M), i> plus the collected EchoList.
+struct Confirm {
+  InstanceId id;
+  crypto::Digest digest{};
+  std::uint64_t member = 0;
+  std::vector<crypto::SignedMessage> echo_list;
+
+  Bytes signed_part() const;
+  Bytes serialize() const;
+  static Confirm deserialize(BytesView b);
+};
+
+/// The SigList returned by Algorithm 3: >C/2 signed CONFIRMs over one
+/// digest. This is the transferable certificate other committees and the
+/// referee committee check (semi-commitments, TXdecSET, ScoreList, ...).
+struct QuorumCert {
+  InstanceId id;
+  crypto::Digest digest{};
+  std::vector<crypto::SignedMessage> confirms;
+
+  Bytes serialize() const;
+  static QuorumCert deserialize(BytesView b);
+
+  /// Verify: every confirm is a valid signature by a *distinct* member of
+  /// `committee` over <CONFIRM, r, sn, digest>, and there are more than
+  /// committee_size/2 of them.
+  bool verify(const std::vector<crypto::PublicKey>& committee,
+              std::size_t committee_size) const;
+};
+
+/// Proof that a leader equivocated: two PROPOSEs for the same (r, sn)
+/// with different digests, both signed by the leader. This is the witness
+/// W = (m_l, m_0) of the leader re-selection procedure (§V-D).
+struct EquivocationWitness {
+  crypto::SignedMessage first;
+  crypto::SignedMessage second;
+
+  Bytes serialize() const;
+  static EquivocationWitness deserialize(BytesView b);
+
+  /// Valid iff both messages verify under `leader`, decode as PROPOSEs
+  /// with the same instance id, and carry different digests.
+  bool valid(const crypto::PublicKey& leader) const;
+};
+
+}  // namespace cyc::consensus

@@ -1,0 +1,89 @@
+#include "crypto/field.hpp"
+
+#include <initializer_list>
+
+namespace cyc::crypto {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t inv_mod_q(std::uint64_t a) {
+  return powmod(a % kQ, kQ - 2, kQ);
+}
+
+std::uint64_t add_q(std::uint64_t a, std::uint64_t b) {
+  a %= kQ;
+  b %= kQ;
+  const std::uint64_t s = a + b;
+  return s >= kQ ? s - kQ : s;
+}
+
+std::uint64_t sub_q(std::uint64_t a, std::uint64_t b) {
+  a %= kQ;
+  b %= kQ;
+  return a >= b ? a - b : a + kQ - b;
+}
+
+std::uint64_t mul_q(std::uint64_t a, std::uint64_t b) {
+  return mulmod(a % kQ, b % kQ, kQ);
+}
+
+std::uint64_t g_pow(std::uint64_t e) { return powmod(kG, e % kQ, kP); }
+
+std::uint64_t gmul(std::uint64_t a, std::uint64_t b) {
+  return mulmod(a, b, kP);
+}
+
+std::uint64_t gpow(std::uint64_t base, std::uint64_t e) {
+  return powmod(base, e % kQ, kP);
+}
+
+bool in_group(std::uint64_t x) {
+  if (x == 0 || x >= kP) return false;
+  return powmod(x, kQ, kP) == 1;
+}
+
+bool is_probable_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // These witnesses are deterministic for all 64-bit integers.
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = powmod(a % n, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+}  // namespace cyc::crypto

@@ -1,0 +1,42 @@
+#include "crypto/pow.hpp"
+
+namespace cyc::crypto {
+
+namespace {
+Digest puzzle_hash(BytesView challenge, std::uint64_t nonce) {
+  return sha256_concat({bytes_of("cyc.pow"), challenge, be64(nonce)});
+}
+}  // namespace
+
+bool pow_verify(BytesView challenge, std::uint64_t target,
+                const PowSolution& solution) {
+  const Digest d = puzzle_hash(challenge, solution.nonce);
+  if (d != solution.digest) return false;
+  return digest_prefix_u64(d) < target;
+}
+
+std::optional<PowSolution> pow_solve(BytesView challenge, std::uint64_t target,
+                                     std::uint64_t start,
+                                     std::uint64_t max_iters) {
+  for (std::uint64_t i = 0; i < max_iters; ++i) {
+    const std::uint64_t nonce = start + i;
+    const Digest d = puzzle_hash(challenge, nonce);
+    if (digest_prefix_u64(d) < target) {
+      return PowSolution{nonce, d};
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t pow_target_for_bits(unsigned bits) {
+  if (bits == 0) return ~0ull;
+  if (bits >= 64) return 1;
+  return 1ull << (64 - bits);
+}
+
+double pow_expected_work(std::uint64_t target) {
+  if (target == 0) return 0.0;
+  return 18446744073709551616.0 /* 2^64 */ / static_cast<double>(target);
+}
+
+}  // namespace cyc::crypto

@@ -1,0 +1,38 @@
+// Proof-of-Work participation puzzle (§IV-F).
+//
+// Nodes who want to take part in round r+1 must solve a hash-preimage
+// puzzle of uniform difficulty and submit the solution to the referee
+// committee, which registers their identity. The puzzle is Sybil
+// resistance only; its difficulty is a parameter, not a consensus rule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace cyc::crypto {
+
+struct PowSolution {
+  std::uint64_t nonce = 0;
+  Digest digest{};
+};
+
+/// A solution is valid when the 64-bit big-endian prefix of
+/// H(challenge || nonce) is strictly below `target`.
+bool pow_verify(BytesView challenge, std::uint64_t target,
+                const PowSolution& solution);
+
+/// Search nonces [start, start + max_iters) for a valid solution.
+std::optional<PowSolution> pow_solve(BytesView challenge, std::uint64_t target,
+                                     std::uint64_t start,
+                                     std::uint64_t max_iters);
+
+/// Target value for a difficulty of `bits` leading zero bits.
+std::uint64_t pow_target_for_bits(unsigned bits);
+
+/// Expected number of hash evaluations to solve at `target`.
+double pow_expected_work(std::uint64_t target);
+
+}  // namespace cyc::crypto

@@ -1,0 +1,139 @@
+#include "crypto/pvss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cyc::crypto {
+
+namespace {
+
+/// Evaluate f(x) = sum a_j x^j mod q by Horner's rule.
+std::uint64_t poly_eval(const std::vector<std::uint64_t>& coeffs,
+                        std::uint64_t x) {
+  std::uint64_t acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = add_q(mul_q(acc, x), *it);
+  }
+  return acc;
+}
+
+}  // namespace
+
+PvssDealing pvss_deal(std::uint64_t secret, std::size_t participants,
+                      std::size_t t, rng::Stream& rng) {
+  if (participants == 0 || t >= participants) {
+    throw std::invalid_argument("pvss_deal: need 0 <= t < participants");
+  }
+  std::vector<std::uint64_t> coeffs(t + 1);
+  coeffs[0] = secret % kQ;
+  for (std::size_t j = 1; j <= t; ++j) coeffs[j] = rng.below(kQ);
+
+  PvssDealing dealing;
+  dealing.commitments.reserve(t + 1);
+  for (std::uint64_t a : coeffs) dealing.commitments.push_back(g_pow(a));
+
+  dealing.shares.reserve(participants);
+  for (std::size_t i = 1; i <= participants; ++i) {
+    dealing.shares.push_back(
+        PvssShare{i, poly_eval(coeffs, static_cast<std::uint64_t>(i))});
+  }
+  return dealing;
+}
+
+bool pvss_verify_share(const std::vector<std::uint64_t>& commitments,
+                       const PvssShare& share) {
+  if (commitments.empty() || share.index == 0) return false;
+  // rhs = prod_j C_j^{i^j}; accumulate i^j incrementally mod q.
+  std::uint64_t rhs = 1;
+  std::uint64_t power = 1;  // i^j mod q
+  for (std::uint64_t commitment : commitments) {
+    rhs = gmul(rhs, gpow(commitment, power));
+    power = mul_q(power, share.index);
+  }
+  return g_pow(share.value) == rhs;
+}
+
+std::optional<std::uint64_t> pvss_reconstruct(
+    const std::vector<PvssShare>& shares, std::size_t t) {
+  // Deduplicate indices; we need t+1 distinct evaluation points.
+  std::vector<PvssShare> pts;
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& s : shares) {
+    if (s.index != 0 && seen.insert(s.index).second) pts.push_back(s);
+    if (pts.size() == t + 1) break;
+  }
+  if (pts.size() < t + 1) return std::nullopt;
+
+  // Lagrange interpolation at x = 0 over Z_q:
+  //   f(0) = sum_i s_i * prod_{j != i} x_j / (x_j - x_i)
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j == i) continue;
+      num = mul_q(num, pts[j].index % kQ);
+      den = mul_q(den, sub_q(pts[j].index, pts[i].index));
+    }
+    const std::uint64_t lagrange = mul_q(num, inv_mod_q(den));
+    secret = add_q(secret, mul_q(pts[i].value, lagrange));
+  }
+  return secret;
+}
+
+std::uint64_t pvss_committed_secret(
+    const std::vector<std::uint64_t>& commitments) {
+  if (commitments.empty()) {
+    throw std::invalid_argument("pvss_committed_secret: empty commitments");
+  }
+  return commitments.front();
+}
+
+BeaconResult RandomnessBeacon::run(
+    std::uint64_t round, const std::vector<std::uint64_t>& dealer_secrets,
+    const std::vector<std::size_t>& cheaters, rng::Stream& rng) {
+  const std::size_t k = dealer_secrets.size();
+  if (k == 0) throw std::invalid_argument("beacon: no dealers");
+  const std::size_t t = (k - 1) / 2;  // honest-majority threshold
+
+  std::unordered_set<std::size_t> cheater_set(cheaters.begin(),
+                                              cheaters.end());
+  BeaconResult result;
+  std::uint64_t sum = 0;
+  for (std::size_t d = 0; d < k; ++d) {
+    rng::Stream dealer_rng = rng.fork(d);
+    PvssDealing dealing = pvss_deal(dealer_secrets[d], k, t, dealer_rng);
+    if (cheater_set.contains(d) && !dealing.shares.empty()) {
+      // A malicious dealer corrupts one published share.
+      dealing.shares[0].value = add_q(dealing.shares[0].value, 1);
+    }
+    // Public verification of every share; any failure disqualifies the
+    // dealer (SCRAPE's public verifiability).
+    bool all_valid = true;
+    for (const auto& share : dealing.shares) {
+      if (!pvss_verify_share(dealing.commitments, share)) {
+        all_valid = false;
+        break;
+      }
+    }
+    if (!all_valid) {
+      result.disqualified.push_back(d);
+      continue;
+    }
+    // Reconstruct from the first t+1 shares and check it matches the
+    // commitment C_0 = g^secret.
+    const auto secret = pvss_reconstruct(dealing.shares, t);
+    if (!secret || g_pow(*secret) != pvss_committed_secret(dealing.commitments)) {
+      result.disqualified.push_back(d);
+      continue;
+    }
+    sum = add_q(sum, *secret);
+  }
+
+  result.randomness =
+      sha256_concat({bytes_of("cyc.beacon"), be64(round), be64(sum)});
+  return result;
+}
+
+}  // namespace cyc::crypto

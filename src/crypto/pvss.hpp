@@ -1,0 +1,85 @@
+// SCRAPE-style Publicly Verifiable Secret Sharing and the randomness
+// beacon built from it (§IV-F, §V-A).
+//
+// Each dealer shares a secret scalar with a degree-t polynomial. The
+// dealer publishes exponent commitments C_j = g^{a_j}; every share s_i is
+// publicly checkable against the commitments via
+//     g^{s_i} == prod_j C_j^{i^j}  (polynomial evaluation in the exponent)
+// so a cheating dealer is caught immediately. Any t+1 valid shares
+// reconstruct the secret by Lagrange interpolation at zero.
+//
+// The beacon aggregates one sharing per referee-committee member: the
+// round randomness is H(sum of all qualified dealers' secrets). As long
+// as a majority of C_R is honest (t = floor((k-1)/2) with k dealers), at
+// least one honest dealer's secret enters the sum before any adversary
+// must commit to its own shares, so the output is unbiased — the property
+// §V-A relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/field.hpp"
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace cyc::crypto {
+
+struct PvssShare {
+  std::uint64_t index = 0;  ///< evaluation point i (1-based)
+  std::uint64_t value = 0;  ///< s_i = f(i) mod q
+};
+
+struct PvssDealing {
+  std::vector<std::uint64_t> commitments;  ///< C_j = g^{a_j}, j = 0..t
+  std::vector<PvssShare> shares;           ///< one share per participant
+
+  std::size_t threshold() const { return commitments.size() - 1; }
+};
+
+/// Deal a sharing of `secret` for `participants` holders with threshold t
+/// (any t+1 shares reconstruct; t or fewer reveal nothing).
+PvssDealing pvss_deal(std::uint64_t secret, std::size_t participants,
+                      std::size_t t, rng::Stream& rng);
+
+/// Publicly verify share `share` against the dealer's commitments.
+bool pvss_verify_share(const std::vector<std::uint64_t>& commitments,
+                       const PvssShare& share);
+
+/// Reconstruct the secret from >= t+1 distinct valid shares. Returns
+/// nullopt if fewer than t+1 distinct indices are supplied.
+std::optional<std::uint64_t> pvss_reconstruct(
+    const std::vector<PvssShare>& shares, std::size_t t);
+
+/// The dealer's committed secret-in-the-exponent, g^secret = C_0.
+/// Reconstruction can be validated against it.
+std::uint64_t pvss_committed_secret(
+    const std::vector<std::uint64_t>& commitments);
+
+// ---------------------------------------------------------------------------
+// Randomness beacon
+// ---------------------------------------------------------------------------
+
+/// One beacon run over k dealers (the members of C_R). Dealers whose
+/// dealings fail public verification are disqualified; the remaining
+/// secrets are reconstructed and summed. Returns the 32-byte round
+/// randomness R^{r+1} = H("cyc.beacon" || round || sum).
+struct BeaconResult {
+  Digest randomness{};
+  std::vector<std::size_t> disqualified;  ///< dealer indices dropped
+};
+
+class RandomnessBeacon {
+ public:
+  /// `dealer_secrets[i]` is dealer i's secret contribution; dealers listed
+  /// in `cheaters` publish one corrupted share (simulating a malicious
+  /// referee member) and must be disqualified by verification.
+  static BeaconResult run(std::uint64_t round,
+                          const std::vector<std::uint64_t>& dealer_secrets,
+                          const std::vector<std::size_t>& cheaters,
+                          rng::Stream& rng);
+};
+
+}  // namespace cyc::crypto

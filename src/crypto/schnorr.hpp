@@ -1,0 +1,78 @@
+// Schnorr signatures over the order-q subgroup of Z_p^* (Fiat–Shamir via
+// SHA-256, deterministic nonces).
+//
+// This is the digital-signature scheme the protocol assumes in §IV-A
+// ("all messages are sent authentically via the digital signature
+// scheme"). Signatures are publicly verifiable: anyone holding the public
+// key can check them, which the leader re-selection procedure (Alg. 6)
+// relies on — a witness is only valid if it contains a message *signed by
+// the accused leader* (Claim 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/field.hpp"
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace cyc::crypto {
+
+struct PublicKey {
+  std::uint64_t y = 0;  ///< g^x mod p
+
+  Bytes serialize() const;
+  static PublicKey deserialize(BytesView b);
+  bool operator==(const PublicKey&) const = default;
+  auto operator<=>(const PublicKey&) const = default;
+};
+
+struct SecretKey {
+  std::uint64_t x = 0;  ///< scalar in [1, q)
+};
+
+struct KeyPair {
+  SecretKey sk;
+  PublicKey pk;
+
+  /// Deterministic key generation from a seed stream.
+  static KeyPair generate(rng::Stream& rng);
+  /// Deterministic key generation from a raw seed value.
+  static KeyPair from_seed(std::uint64_t seed);
+};
+
+struct Signature {
+  std::uint64_t r = 0;  ///< commitment R = g^k mod p
+  std::uint64_t s = 0;  ///< response s = k + e*x mod q
+
+  Bytes serialize() const;
+  static Signature deserialize(BytesView b);
+  bool operator==(const Signature&) const = default;
+};
+
+/// Sign `msg` with deterministic nonce k = H(sk || msg) mod q.
+Signature sign(const SecretKey& sk, BytesView msg);
+
+/// Verify: g^s == R * y^e (mod p) with e = H(R || y || msg) mod q.
+bool verify(const PublicKey& pk, BytesView msg, const Signature& sig);
+
+/// A (signer, payload, signature) triple — the `SIG_i <...>` objects that
+/// appear throughout Algorithms 3–6. `payload` is the canonical serde
+/// encoding of the inner message.
+struct SignedMessage {
+  PublicKey signer;
+  Bytes payload;
+  Signature sig;
+
+  bool valid() const { return verify(signer, payload, sig); }
+
+  Bytes serialize() const;
+  static SignedMessage deserialize(BytesView b);
+  bool operator==(const SignedMessage&) const = default;
+};
+
+/// Convenience: build a SignedMessage over `payload`.
+SignedMessage make_signed(const KeyPair& keys, BytesView payload);
+
+}  // namespace cyc::crypto

@@ -1,0 +1,56 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the protocol's external collision-resistant hash function H
+// (§III-C): it backs semi-commitments, Merkle trees, the VRF output map,
+// the PoW puzzle and the role-selection difficulty inequality of §IV-F.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace cyc::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(BytesView data);
+  Sha256& update(std::string_view s);
+
+  /// Finalize and return the digest. The context must not be reused
+  /// afterwards (construct a fresh one).
+  Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot hash.
+Digest sha256(BytesView data);
+
+/// One-shot hash returning a Bytes copy (convenient for serialization).
+Bytes sha256_bytes(BytesView data);
+
+/// Hash of the concatenation of several byte strings (unambiguous because
+/// callers pass canonical serde encodings).
+Digest sha256_concat(std::initializer_list<BytesView> parts);
+
+/// First 8 bytes of the digest as a big-endian integer — used by the
+/// sortition `hash mod m` step (Alg. 1) and difficulty comparisons (§IV-F).
+std::uint64_t digest_prefix_u64(const Digest& d);
+
+/// Bytes view helpers.
+Bytes digest_to_bytes(const Digest& d);
+Digest digest_from_bytes(BytesView b);
+
+}  // namespace cyc::crypto

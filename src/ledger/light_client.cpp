@@ -1,0 +1,29 @@
+#include "ledger/light_client.hpp"
+
+namespace cyc::ledger {
+
+LightClient::LightClient() {
+  // Same genesis sentinel as Chain, so headers interoperate.
+  headers_.push_back(Chain().genesis());
+}
+
+bool LightClient::accept_header(const BlockHeader& header) {
+  if (header.round != tip().round + 1) return false;
+  if (header.prev_hash != tip().hash()) return false;
+  headers_.push_back(header);
+  return true;
+}
+
+bool LightClient::verify_payment(std::size_t height, const Transaction& tx,
+                                 const crypto::MerkleProof& proof) const {
+  if (height == 0 || height >= headers_.size()) return false;
+  return Block::verify_inclusion(headers_[height], tx, proof);
+}
+
+std::optional<crypto::Digest> LightClient::randomness_at(
+    std::size_t height) const {
+  if (height >= headers_.size()) return std::nullopt;
+  return headers_[height].randomness;
+}
+
+}  // namespace cyc::ledger

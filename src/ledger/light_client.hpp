@@ -1,0 +1,42 @@
+// Light client: header-only verification for external users.
+//
+// A user who submitted a transaction (Fig. 2 step 1) does not replay
+// the protocol; it tracks the header chain released with each block and
+// checks an inclusion proof — O(log |txs|) hashes per payment, the
+// standard SPV argument enabled by the Merkle body root of §IV-G.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ledger/block.hpp"
+
+namespace cyc::ledger {
+
+class LightClient {
+ public:
+  LightClient();
+
+  /// Accept the next header. Rejects (returns false) any header that
+  /// does not extend the current tip with round+1 and a matching
+  /// prev-hash — a fork or replay attempt.
+  bool accept_header(const BlockHeader& header);
+
+  std::size_t height() const { return headers_.size() - 1; }
+  const BlockHeader& tip() const { return headers_.back(); }
+
+  /// Verify that `tx` is included in the block at `height` given an
+  /// inclusion proof produced by the full node.
+  bool verify_payment(std::size_t height, const Transaction& tx,
+                      const crypto::MerkleProof& proof) const;
+
+  /// The randomness committed at `height` (used by clients to verify
+  /// next-round role lotteries without trusting any single node).
+  std::optional<crypto::Digest> randomness_at(std::size_t height) const;
+
+ private:
+  std::vector<BlockHeader> headers_;
+};
+
+}  // namespace cyc::ledger

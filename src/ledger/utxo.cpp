@@ -1,0 +1,59 @@
+#include "ledger/utxo.hpp"
+
+#include <algorithm>
+
+#include "support/serde.hpp"
+
+namespace cyc::ledger {
+
+std::optional<TxOut> UtxoStore::get(const OutPoint& op) const {
+  auto it = utxos_.find(op);
+  if (it == utxos_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool UtxoStore::add(const OutPoint& op, const TxOut& out) {
+  if (shard_of(out.owner, m_) != shard_) return false;
+  utxos_[op] = out;
+  return true;
+}
+
+bool UtxoStore::spend(const OutPoint& op) { return utxos_.erase(op) > 0; }
+
+void UtxoStore::apply(const Transaction& tx) {
+  if (shard_of(tx.spender, m_) == shard_) {
+    for (const auto& in : tx.inputs) spend(in);
+  }
+  const TxId id = tx.id();
+  for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+    add(OutPoint{id, i}, tx.outputs[i]);
+  }
+}
+
+Amount UtxoStore::total_value() const {
+  Amount total = 0;
+  for (const auto& [op, out] : utxos_) total += out.amount;
+  return total;
+}
+
+std::vector<OutPoint> UtxoStore::outpoints() const {
+  std::vector<OutPoint> ops;
+  ops.reserve(utxos_.size());
+  for (const auto& [op, out] : utxos_) ops.push_back(op);
+  std::sort(ops.begin(), ops.end());
+  return ops;
+}
+
+crypto::Digest UtxoStore::digest() const {
+  Writer w;
+  for (const auto& op : outpoints()) {
+    w.bytes(crypto::digest_to_bytes(op.tx));
+    w.u32(op.index);
+    const auto out = get(op);
+    w.u64(out->owner.y);
+    w.u64(out->amount);
+  }
+  return crypto::sha256(w.out());
+}
+
+}  // namespace cyc::ledger

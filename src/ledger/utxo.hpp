@@ -1,0 +1,56 @@
+// Per-shard UTXO store.
+//
+// Each committee maintains the UTXO set of the shard it is responsible
+// for (§III-D); after a block is released, members delete spent outputs
+// and append the newly created outputs belonging to their shard (§IV-G).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/types.hpp"
+
+namespace cyc::ledger {
+
+class UtxoStore {
+ public:
+  UtxoStore() = default;
+  UtxoStore(ShardId shard, std::uint32_t m) : shard_(shard), m_(m) {}
+
+  ShardId shard() const { return shard_; }
+  std::size_t size() const { return utxos_.size(); }
+
+  /// Look up an unspent output.
+  std::optional<TxOut> get(const OutPoint& op) const;
+  bool contains(const OutPoint& op) const { return utxos_.count(op) > 0; }
+
+  /// Insert an output. Outputs whose owner is outside this store's shard
+  /// are rejected (returns false) — a store only tracks its own shard.
+  bool add(const OutPoint& op, const TxOut& out);
+
+  /// Remove a spent output; returns false if it was not present.
+  bool spend(const OutPoint& op);
+
+  /// Apply a verified transaction: spend its inputs that live here and
+  /// add its outputs that belong to this shard.
+  void apply(const Transaction& tx);
+
+  /// Total value stored.
+  Amount total_value() const;
+
+  /// Snapshot of all outpoints (deterministically ordered).
+  std::vector<OutPoint> outpoints() const;
+
+  /// Digest of the full store content — used for the end-of-round UTXO
+  /// list consensus (§IV-G hand-off to the next partial set).
+  crypto::Digest digest() const;
+
+ private:
+  ShardId shard_ = 0;
+  std::uint32_t m_ = 1;
+  std::unordered_map<OutPoint, TxOut, OutPointHash> utxos_;
+};
+
+}  // namespace cyc::ledger

@@ -1,0 +1,94 @@
+// Synthetic transaction workload (substitute for the paper's external
+// users, see DESIGN.md §3).
+//
+// The generator maintains the true global ledger state: a pool of
+// confirmed spendable outputs per user. Generated transactions spend only
+// confirmed outputs, so every "honest" transaction is valid by
+// construction; the engine reports back which transactions were committed
+// so the pool stays consistent. Invalid transactions of three kinds can
+// be injected to exercise the authentication function V and the voting /
+// reputation machinery.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/types.hpp"
+#include "ledger/utxo.hpp"
+#include "support/rng.hpp"
+
+namespace cyc::ledger {
+
+enum class InvalidKind : std::uint8_t {
+  kBadSignature,
+  kUnknownInput,
+  kOverspend,
+  /// A second, correctly signed spend of an outpoint already consumed by
+  /// an earlier in-flight transaction — individually V-valid, but one of
+  /// the pair must be rejected (§VIII-B "relevant" transactions).
+  kDoubleSpendPair,
+};
+
+struct WorkloadConfig {
+  std::uint32_t shards = 4;
+  std::uint32_t users = 64;          ///< total user keys
+  std::uint32_t outputs_per_user = 4;
+  Amount initial_amount = 1000;
+  double cross_shard_fraction = 0.2;  ///< fraction of txs spanning shards
+  double invalid_fraction = 0.0;      ///< fraction of injected invalid txs
+  Amount fee = 1;                     ///< fee left on each transaction
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, std::uint64_t seed);
+
+  /// Genesis UTXO stores, one per shard, reflecting the initial grants.
+  const std::vector<UtxoStore>& genesis() const { return genesis_; }
+
+  /// Generate up to `count` transactions (fewer if the spendable pool
+  /// runs dry). Valid ones spend confirmed outputs only.
+  std::vector<Transaction> next_batch(std::size_t count);
+
+  /// Report that `tx` was committed: its outputs become spendable.
+  void mark_committed(const Transaction& tx);
+
+  /// Report that `tx` was rejected: its inputs return to the pool.
+  void mark_rejected(const Transaction& tx);
+
+  std::size_t spendable_outputs() const;
+  std::uint32_t shards() const { return config_.shards; }
+  const WorkloadConfig& config() const { return config_; }
+
+  /// True ground truth: whether the generator built `tx` as a valid spend.
+  bool is_ground_truth_valid(const TxId& id) const;
+
+ private:
+  struct Spendable {
+    OutPoint op;
+    Amount amount = 0;
+    std::size_t user = 0;
+  };
+
+  Transaction make_valid_tx(bool cross_shard);
+  Transaction make_invalid_tx(InvalidKind kind);
+  std::size_t pick_user_with_funds();
+  std::size_t pick_user_in_shard(ShardId shard);
+  std::size_t pick_user_not_in_shard(ShardId shard);
+
+  WorkloadConfig config_;
+  rng::Stream rng_;
+  std::vector<crypto::KeyPair> users_;
+  std::vector<ShardId> user_shard_;
+  std::vector<std::vector<std::size_t>> shard_users_;
+  std::vector<UtxoStore> genesis_;
+  // Spendable pool per user (confirmed, unspent).
+  std::vector<std::deque<Spendable>> pool_;
+  // Inputs consumed by in-flight txs: txid -> consumed spendables.
+  std::unordered_map<std::string, std::vector<Spendable>> in_flight_;
+  std::unordered_map<std::string, bool> ground_truth_;
+};
+
+}  // namespace cyc::ledger

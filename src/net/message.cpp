@@ -1,0 +1,40 @@
+#include "net/message.hpp"
+
+namespace cyc::net {
+
+std::string_view tag_name(Tag tag) {
+  switch (tag) {
+    case Tag::kConfig: return "CONFIG";
+    case Tag::kMemberList: return "MEM_LIST";
+    case Tag::kMember: return "MEMBER";
+    case Tag::kPropose: return "PROPOSE";
+    case Tag::kEcho: return "ECHO";
+    case Tag::kConfirm: return "CONFIRM";
+    case Tag::kAbort: return "ABORT";
+    case Tag::kSemiCommit: return "SEMI_COM";
+    case Tag::kSemiCommitAck: return "SEMI_COM_ACK";
+    case Tag::kTxList: return "TX_LIST";
+    case Tag::kVote: return "VOTE";
+    case Tag::kIntraResult: return "INTRA";
+    case Tag::kCrossTxList: return "CROSS_TX";
+    case Tag::kCrossResult: return "CROSS_RESULT";
+    case Tag::kCrossPartialHint: return "CROSS_HINT";
+    case Tag::kScoreList: return "SCORE_LIST";
+    case Tag::kScoreReport: return "SCORE_REPORT";
+    case Tag::kAccuse: return "ACCUSE";
+    case Tag::kImpeachVote: return "IMPEACH_VOTE";
+    case Tag::kProsecute: return "PROSECUTE";
+    case Tag::kNewLeader: return "NEW_LEADER";
+    case Tag::kPowSolution: return "POW";
+    case Tag::kBlock: return "BLOCK";
+    case Tag::kUtxoHandoff: return "UTXO_HANDOFF";
+    case Tag::kBeaconShare: return "BEACON";
+    case Tag::kPreCommQuery: return "PRECOMM_Q";
+    case Tag::kPreCommReply: return "PRECOMM_R";
+    case Tag::kBlockPermit: return "BLOCK_PERMIT";
+    case Tag::kSubBlock: return "SUB_BLOCK";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace cyc::net

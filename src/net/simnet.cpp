@@ -1,0 +1,96 @@
+#include "net/simnet.hpp"
+
+#include <stdexcept>
+
+namespace cyc::net {
+
+SimNet::SimNet(std::size_t node_count, DelayModel delays, rng::Stream rng)
+    : delays_(delays),
+      rng_(rng),
+      classifier_([](NodeId, NodeId) { return LinkClass::kKeyMesh; }),
+      handlers_(node_count) {
+  stats_.resize(node_count);
+}
+
+void SimNet::set_link_classifier(LinkClassifier classifier) {
+  classifier_ = std::move(classifier);
+}
+
+void SimNet::set_handler(NodeId node, Handler handler) {
+  handlers_.at(node) = std::move(handler);
+}
+
+Time SimNet::link_delay(NodeId from, NodeId to) {
+  switch (classifier_(from, to)) {
+    case LinkClass::kIntraCommittee:
+      // Uniform in (0, Delta]: synchronous bound.
+      return delays_.delta * (0.5 + 0.5 * rng_.uniform());
+    case LinkClass::kKeyMesh:
+      return delays_.gamma * (0.5 + 0.5 * rng_.uniform());
+    case LinkClass::kPartialSync:
+      // Bounded but adversarially jittered: delivery order between any
+      // two messages on such links can invert.
+      return delays_.gamma * (1.0 + delays_.jitter * rng_.uniform());
+    case LinkClass::kUnconnected:
+      return -1.0;
+  }
+  return -1.0;
+}
+
+void SimNet::send(NodeId from, NodeId to, Tag tag, Bytes payload) {
+  if (to >= handlers_.size()) {
+    throw std::out_of_range("SimNet::send: unknown receiver");
+  }
+  Message msg{from, to, tag, std::move(payload)};
+  const Time delay = link_delay(from, to);
+  stats_.note_send(from, phase_, msg.wire_size());
+  if (delay < 0) {
+    ++dropped_;
+    return;
+  }
+  Event ev;
+  ev.when = now_ + delay;
+  ev.seq = seq_++;
+  ev.is_timer = false;
+  ev.msg = std::move(msg);
+  ev.send_phase = phase_;
+  queue_.push(std::move(ev));
+}
+
+void SimNet::multicast(NodeId from, const std::vector<NodeId>& to, Tag tag,
+                       const Bytes& payload) {
+  for (NodeId receiver : to) {
+    if (receiver == from) continue;
+    send(from, receiver, tag, payload);
+  }
+}
+
+void SimNet::schedule(Time when, std::function<void(Time)> fn) {
+  Event ev;
+  ev.when = when < now_ ? now_ : when;
+  ev.seq = seq_++;
+  ev.is_timer = true;
+  ev.timer = std::move(fn);
+  ev.send_phase = phase_;
+  queue_.push(std::move(ev));
+}
+
+Time SimNet::run(Time deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    if (ev.is_timer) {
+      ev.timer(now_);
+      continue;
+    }
+    stats_.note_recv(ev.msg.to, ev.send_phase, ev.msg.wire_size());
+    if (handlers_[ev.msg.to]) {
+      handlers_[ev.msg.to](ev.msg, now_);
+    }
+  }
+  return now_;
+}
+
+}  // namespace cyc::net

@@ -1,0 +1,118 @@
+// Deterministic discrete-event network simulator.
+//
+// Models the paper's network assumptions (§III-B):
+//  * synchronous channels inside a committee (delay <= Delta),
+//  * synchronous but slower channels among key members / referees
+//    (delay <= Gamma),
+//  * partially synchronous channels everywhere else (bounded delay with
+//    adversarial jitter — the adversary may reorder messages, §III-C).
+//
+// The simulator is single-threaded and deterministic per seed: events are
+// ordered by (time, sequence number), and all jitter comes from a named
+// rng::Stream. Monte-Carlo sweeps parallelize across *independent*
+// simulator instances, never inside one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/stats.hpp"
+#include "support/rng.hpp"
+
+namespace cyc::net {
+
+/// Channel classes with distinct delay behaviour.
+enum class LinkClass : std::uint8_t {
+  kIntraCommittee,   // delay = Delta
+  kKeyMesh,          // delay = Gamma
+  kPartialSync,      // delay in [Gamma, Gamma * (1 + jitter)], reorderable
+  kUnconnected,      // no channel: sends are dropped and counted
+};
+
+struct DelayModel {
+  Time delta = 1.0;            ///< intra-committee bound
+  Time gamma = 5.0;            ///< key-member / referee mesh bound
+  double jitter = 1.0;         ///< partial-sync jitter factor
+};
+
+/// Classifies the channel between two nodes. Installed by the protocol
+/// engine, which knows committee membership and roles.
+using LinkClassifier = std::function<LinkClass(NodeId from, NodeId to)>;
+
+/// Receiver callback; invoked at delivery time.
+using Handler = std::function<void(const Message&, Time now)>;
+
+class SimNet {
+ public:
+  SimNet(std::size_t node_count, DelayModel delays, rng::Stream rng);
+
+  /// Install the channel classifier (defaults to everything kKeyMesh).
+  void set_link_classifier(LinkClassifier classifier);
+
+  /// Install the delivery handler for a node.
+  void set_handler(NodeId node, Handler handler);
+
+  /// Label subsequent traffic with a protocol phase for accounting.
+  void set_phase(Phase phase) { phase_ = phase; }
+  Phase phase() const { return phase_; }
+
+  /// Queue a message for delivery. Drops (and counts) sends over
+  /// kUnconnected links — the hierarchical topology simply has no channel
+  /// there, which is the point of the "Burden on Connection" row.
+  void send(NodeId from, NodeId to, Tag tag, Bytes payload);
+
+  /// Send to many receivers (the BROADCAST of the pseudocode — multicast
+  /// to known members, each counted individually).
+  void multicast(NodeId from, const std::vector<NodeId>& to, Tag tag,
+                 const Bytes& payload);
+
+  /// Schedule a local timer callback for `node` at absolute time `when`.
+  void schedule(Time when, std::function<void(Time)> fn);
+
+  /// Run until the event queue is empty or `deadline` is passed.
+  /// Returns the time of the last processed event.
+  Time run(Time deadline = 1e18);
+
+  Time now() const { return now_; }
+  bool idle() const { return queue_.empty(); }
+
+  const TrafficStats& stats() const { return stats_; }
+  TrafficStats& stats() { return stats_; }
+  std::uint64_t dropped_sends() const { return dropped_; }
+  std::size_t node_count() const { return handlers_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    // Exactly one of message / timer is active.
+    bool is_timer;
+    Message msg;
+    Phase send_phase;
+    std::function<void(Time)> timer;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time link_delay(NodeId from, NodeId to);
+
+  DelayModel delays_;
+  rng::Stream rng_;
+  LinkClassifier classifier_;
+  std::vector<Handler> handlers_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  TrafficStats stats_;
+  Phase phase_ = Phase::kIdle;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cyc::net

@@ -1,0 +1,69 @@
+// Per-node / per-phase traffic and storage accounting.
+//
+// Table II of the paper states asymptotic communication, computation and
+// storage complexity per protocol phase and per role; this accounting is
+// the measured counterpart. The protocol layer labels phases; the
+// simulator attributes every delivered message to the label active when
+// it was *sent*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace cyc::net {
+
+/// Phase labels (indices into per-phase counters).
+enum class Phase : std::uint8_t {
+  kIdle = 0,
+  kCommitteeConfig,
+  kSemiCommit,
+  kIntraConsensus,
+  kInterConsensus,
+  kReputation,
+  kSelection,
+  kBlock,
+  kRecovery,
+  kCount,
+};
+
+std::string_view phase_name(Phase p);
+
+struct Counter {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+
+  Counter& operator+=(const Counter& o) {
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+    msgs_recv += o.msgs_recv;
+    bytes_recv += o.bytes_recv;
+    return *this;
+  }
+};
+
+class TrafficStats {
+ public:
+  void resize(std::size_t nodes);
+  void note_send(NodeId node, Phase phase, std::size_t bytes);
+  void note_recv(NodeId node, Phase phase, std::size_t bytes);
+
+  const Counter& at(NodeId node, Phase phase) const;
+  Counter node_total(NodeId node) const;
+  Counter phase_total(Phase phase) const;
+  Counter grand_total() const;
+  std::size_t node_count() const { return per_node_.size(); }
+
+  void reset();
+
+ private:
+  // per_node_[node][phase]
+  std::vector<std::vector<Counter>> per_node_;
+};
+
+}  // namespace cyc::net

@@ -1,0 +1,25 @@
+#include "net/topology.hpp"
+
+namespace cyc::net {
+
+namespace {
+std::uint64_t pairs(std::uint64_t k) { return k * (k - 1) / 2; }
+}  // namespace
+
+ChannelCount cycledger_channels(const TopologyParams& p) {
+  ChannelCount out;
+  out.intra_committee = p.m * pairs(p.c);
+  const std::uint64_t key_members = p.m * (1 + p.lambda);
+  // Channels among key members of *different* committees; pairs within a
+  // committee are already covered by the intra-committee clique.
+  out.key_mesh = pairs(key_members) - p.m * pairs(1 + p.lambda);
+  out.key_to_referee = key_members * p.referees;
+  out.referee_clique = pairs(p.referees);
+  return out;
+}
+
+std::uint64_t clique_channels(const TopologyParams& p) {
+  return pairs(p.n + p.referees);
+}
+
+}  // namespace cyc::net

@@ -1,0 +1,43 @@
+// Connection-channel counting for the "Burden on Connection" row of
+// Table I.
+//
+// Previous protocols assume a reliable channel between every pair of
+// honest nodes (a clique: n(n-1)/2 channels). CycLedger only needs:
+//  * a clique inside each committee,
+//  * a clique over all key members (leaders + partial sets),
+//  * a channel from each key member to every referee member,
+//  * partially synchronous best-effort links elsewhere (not counted as
+//    reliable channels).
+#pragma once
+
+#include <cstdint>
+
+namespace cyc::net {
+
+struct TopologyParams {
+  std::uint64_t n = 0;       ///< total nodes (excluding referees)
+  std::uint64_t m = 0;       ///< committees
+  std::uint64_t c = 0;       ///< committee size
+  std::uint64_t lambda = 0;  ///< partial-set size
+  std::uint64_t referees = 0;
+};
+
+struct ChannelCount {
+  std::uint64_t intra_committee = 0;
+  std::uint64_t key_mesh = 0;
+  std::uint64_t key_to_referee = 0;
+  std::uint64_t referee_clique = 0;
+
+  std::uint64_t total() const {
+    return intra_committee + key_mesh + key_to_referee + referee_clique;
+  }
+};
+
+/// Reliable channels CycLedger's hierarchy needs.
+ChannelCount cycledger_channels(const TopologyParams& p);
+
+/// Reliable channels the flat clique model (Elastico / OmniLedger /
+/// RapidChain network assumption) needs for the same population.
+std::uint64_t clique_channels(const TopologyParams& p);
+
+}  // namespace cyc::net

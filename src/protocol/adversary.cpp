@@ -1,0 +1,38 @@
+#include "protocol/adversary.hpp"
+
+namespace cyc::protocol {
+
+std::string_view behavior_name(Behavior b) {
+  switch (b) {
+    case Behavior::kHonest: return "honest";
+    case Behavior::kCrash: return "crash";
+    case Behavior::kEquivocator: return "equivocator";
+    case Behavior::kCommitForger: return "commit-forger";
+    case Behavior::kConcealer: return "concealer";
+    case Behavior::kInverseVoter: return "inverse-voter";
+    case Behavior::kRandomVoter: return "random-voter";
+    case Behavior::kLazyVoter: return "lazy-voter";
+    case Behavior::kImitator: return "imitator";
+    case Behavior::kFramer: return "framer";
+  }
+  return "unknown";
+}
+
+bool is_leader_behavior(Behavior b) {
+  return b == Behavior::kEquivocator || b == Behavior::kCommitForger ||
+         b == Behavior::kConcealer || b == Behavior::kImitator;
+}
+
+Behavior AdversaryConfig::sample(rng::Stream& rng) const {
+  double total = 0.0;
+  for (const auto& w : mix) total += w.weight;
+  if (total <= 0.0) return Behavior::kCrash;
+  double pick = rng.uniform() * total;
+  for (const auto& w : mix) {
+    pick -= w.weight;
+    if (pick <= 0.0) return w.behavior;
+  }
+  return mix.back().behavior;
+}
+
+}  // namespace cyc::protocol

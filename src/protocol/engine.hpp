@@ -1,0 +1,319 @@
+// The CycLedger round engine (§IV).
+//
+// The engine owns the simulated network, the node states and the
+// authoritative ledger, and drives the seven phases of a round:
+//   committee configuration -> semi-commitment exchange -> intra-committee
+//   consensus -> inter-committee consensus -> reputation updating ->
+//   referee/leader/partial-set selection -> block generation/propagation,
+// with the leader re-selection (recovery) procedure armed throughout.
+//
+// Honest node logic runs purely on messages delivered by the simulator;
+// the engine only uses global knowledge for (a) transport, (b) genesis
+// setup, and (c) measurements. Misbehaving nodes follow their Behavior.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/engine.hpp"
+#include "ledger/block.hpp"
+#include "ledger/validator.hpp"
+#include "ledger/workload.hpp"
+#include "net/simnet.hpp"
+#include "protocol/adversary.hpp"
+#include "protocol/params.hpp"
+#include "protocol/report.hpp"
+#include "protocol/reputation.hpp"
+#include "protocol/roles.hpp"
+#include "protocol/semicommit.hpp"
+#include "protocol/sortition.hpp"
+#include "protocol/witness.hpp"
+
+namespace cyc::protocol {
+
+struct EngineOptions {
+  /// Disable the recovery procedure: committees with a faulty leader lose
+  /// the round (the RapidChain-like baseline behaviour of Table I).
+  bool recovery_enabled = true;
+  /// Select leaders by reputation rank (§IV-F). When false, leaders are
+  /// drawn uniformly (ablation for E12).
+  bool reputation_leader_selection = true;
+  /// Extra reputation granted to an unconvicted leader (§VII-A: "leaders
+  /// obtain some extra reputation as a bonus for their hard work"). Set
+  /// above a perfect member score (1.0) so that serving as leader never
+  /// pays worse than voting.
+  double leader_bonus = 1.25;
+  /// Reputation credit for referee-committee service. The paper defers
+  /// C_R's update to the next round's referees (§IV-G); we apply the
+  /// flat credit at round end, which preserves the incentive ordering.
+  double referee_credit = 1.0;
+  /// Safety valve on repeated recoveries in one committee and round.
+  std::uint32_t max_recoveries_per_committee = 4;
+  /// §VIII-A extension: leaders pre-filter cross-shard lists by asking
+  /// the destination leader which transactions are valid, excluding
+  /// low-value (invalid) transactions before the expensive two-committee
+  /// consensus.
+  bool extension_precommunication = false;
+  /// §VIII-B extension: parallelized block generation — the referee
+  /// committee only issues per-committee permissions; each leader
+  /// broadcasts its own sub-block, removing the O(mn) broadcast burden
+  /// from C_R.
+  bool extension_parallel_blocks = false;
+};
+
+class Engine {
+ public:
+  Engine(Params params, AdversaryConfig adversary, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run one full round; returns its report.
+  RoundReport run_round();
+
+  /// Run several rounds and collect the run report.
+  RunReport run(std::size_t rounds);
+
+  // --- introspection (tests & experiments) ---
+  const Params& params() const { return params_; }
+  const RoundAssignment& assignment() const { return assign_; }
+  std::uint64_t round() const { return round_; }
+  double reputation(net::NodeId id) const { return nodes_[id].reputation; }
+  double reward(net::NodeId id) const { return nodes_[id].reward; }
+  Behavior behavior_of(net::NodeId id) const { return nodes_[id].behavior; }
+  std::uint32_t capacity_of(net::NodeId id) const {
+    return nodes_[id].capacity;
+  }
+  const net::SimNet& net() const { return *net_; }
+  const std::vector<ledger::UtxoStore>& shard_state() const {
+    return shard_state_;
+  }
+  /// The chain of blocks produced so far (one per completed round).
+  const ledger::Chain& chain() const { return chain_; }
+  const crypto::Digest& randomness() const { return randomness_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Corrupt a node at the start of the current round; the behaviour
+  /// takes effect one round later (mildly-adaptive adversary, §III-C).
+  void corrupt(net::NodeId id, Behavior behavior);
+
+ private:
+  // ---- per-node state ----
+  struct NodeState {
+    net::NodeId id = net::kNoNode;
+    crypto::KeyPair keys;
+    double reputation = 0.0;
+    double reward = 0.0;
+    std::uint32_t capacity = 0;
+    Behavior behavior = Behavior::kHonest;
+    std::uint64_t corrupted_at = ~0ull;
+
+    // per-round
+    Role role = Role::kCommon;
+    std::int64_t committee = -1;
+    SortitionTicket ticket;
+    std::vector<crypto::PublicKey> member_list;  // S of Alg. 2
+    std::set<std::uint64_t> known_pks;           // dedup for S
+    ledger::UtxoStore utxo;                      // own shard view
+
+    // Algorithm 3 instances, keyed by sn.
+    std::map<std::uint64_t, consensus::LeaderInstance> lead;
+    std::map<std::uint64_t, consensus::MemberInstance> member;
+    std::map<std::uint64_t, consensus::QuorumCert> certs;
+
+    // semi-commitment bookkeeping
+    std::optional<crypto::SignedMessage> leader_list_msg;    // from leader
+    std::optional<crypto::SignedMessage> leader_commit_msg;  // from leader
+    std::map<std::uint32_t, crypto::Digest> commitments;     // per committee
+    std::map<std::uint32_t, std::vector<crypto::PublicKey>> lists;  // referee
+
+    // voting
+    std::map<net::NodeId, VoteVector> votes;        // leader: intra votes
+    std::map<net::NodeId, VoteVector> cross_votes;  // leader: cross votes
+    VoteVector intra_decision;                      // leader: tally result
+    VoteVector cross_decision;
+    bool sent_intra_result = false;
+
+    // inter-committee
+    std::map<std::uint32_t, Bytes> cross_in;   // from committee i -> payload
+    std::map<std::uint32_t, double> cross_in_at;  // arrival time (2-Gamma rule)
+    std::set<std::uint32_t> cross_done;        // processed origins
+    std::map<std::uint32_t, Bytes> cross_hints;   // partial members' copies
+    std::map<std::uint32_t, double> cross_hint_at;
+    std::set<std::uint32_t> cross_seen_propose;   // origins the leader engaged
+
+    // activity flags honest members track about their leader
+    bool leader_sent_txlist = false;
+    bool leader_sent_commitment = false;
+
+    // impeachment
+    std::optional<Accusation> pending_accusation;
+    std::vector<crypto::SignedMessage> impeach_approvals;
+    bool accused_this_round = false;
+    bool sent_prosecution = false;
+
+    bool is_active(std::uint64_t round) const {
+      return !(behavior == Behavior::kCrash && corrupted_at < round);
+    }
+    bool misbehaves(std::uint64_t round) const {
+      return behavior != Behavior::kHonest && corrupted_at < round;
+    }
+  };
+
+  // ---- round-scoped engine state ----
+  struct CommitteeRound {
+    net::NodeId current_leader = net::kNoNode;
+    std::uint32_t attempt = 0;      // recovery attempts
+    std::uint32_t recoveries = 0;
+    bool leader_convicted = false;  // guard against double conviction
+    std::vector<ledger::Transaction> intra_list;
+    std::vector<ledger::Transaction> cross_list;
+    // Leader-side payloads awaiting certification.
+    Bytes pending_intra_payload;
+    Bytes pending_score_payload;
+    std::map<std::uint32_t, Bytes> pending_cross_out;  // dest -> request
+    net::NodeId pending_new_leader = net::kNoNode;
+    // Referee-side: accepted results.
+    std::optional<Bytes> intra_result;     // serialized TXdecSET+VList
+    std::map<std::uint32_t, Bytes> cross_results;  // origin -> accepted ids
+    std::optional<Bytes> score_report;
+  };
+
+  // ---- setup ----
+  void build_nodes();
+  void assign_genesis_roles();
+  void link_classifier_install();
+  void start_round_state();
+
+  // ---- phases ----
+  void phase_config(net::Time at);
+  void phase_semicommit(net::Time at);
+  void phase_intra(net::Time at);
+  void phase_inter(net::Time at);
+  void phase_reputation(net::Time at);
+  void phase_selection(net::Time at);
+  void phase_block(net::Time at);
+
+  // ---- message handling ----
+  void handle(net::NodeId id, const net::Message& msg, net::Time now);
+  void on_config(NodeState& self, const net::Message& msg);
+  void on_member_list(NodeState& self, const net::Message& msg);
+  void on_member(NodeState& self, const net::Message& msg);
+  void on_consensus_msg(NodeState& self, const net::Message& msg,
+                        net::Time now);
+  void on_semicommit(NodeState& self, const net::Message& msg, net::Time now);
+  void on_semicommit_ack(NodeState& self, const net::Message& msg,
+                         net::Time now);
+  void on_txlist(NodeState& self, const net::Message& msg);
+  void on_vote(NodeState& self, const net::Message& msg);
+  void on_cross_txlist(NodeState& self, const net::Message& msg,
+                       net::Time now);
+  void on_cross_hint(NodeState& self, const net::Message& msg, net::Time now);
+  void on_cross_result(NodeState& self, const net::Message& msg);
+  void on_accuse(NodeState& self, const net::Message& msg, net::Time now);
+  void on_impeach_vote(NodeState& self, const net::Message& msg,
+                       net::Time now);
+  void on_prosecute(NodeState& self, const net::Message& msg, net::Time now);
+  void on_new_leader(NodeState& self, const net::Message& msg, net::Time now);
+  void on_intra_result(NodeState& self, const net::Message& msg);
+  void on_score_report(NodeState& self, const net::Message& msg);
+
+  // ---- helpers ----
+  NodeState& node(net::NodeId id) { return nodes_[id]; }
+  const CommitteeInfo& committee_info(std::uint32_t k) const {
+    return assign_.committees[k];
+  }
+  std::vector<net::NodeId> committee_members(std::uint32_t k) const;
+  std::vector<crypto::PublicKey> committee_pks(std::uint32_t k) const;
+  net::NodeId node_of_pk(const crypto::PublicKey& pk) const;
+  crypto::PublicKey expected_instance_leader(std::uint32_t scope,
+                                             std::uint64_t sn) const;
+  std::vector<net::NodeId> instance_peers(std::uint32_t scope) const;
+  std::size_t instance_size(std::uint32_t scope) const;
+
+  /// Consensus plumbing: wrap + send wires for instance (scope, sn).
+  void send_consensus(net::NodeId from, const std::vector<net::NodeId>& to,
+                      net::Tag tag, std::uint32_t scope, std::uint64_t sn,
+                      const Bytes& wire);
+  void leader_start_instance(NodeState& self, std::uint32_t scope,
+                             std::uint64_t sn, Bytes message);
+  void process_member_output(NodeState& self, std::uint32_t scope,
+                             std::uint64_t sn, consensus::MemberOutput out,
+                             net::Time now);
+  void on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
+               const consensus::QuorumCert& cert);
+
+  /// Voting logic: an honest node's vote on a list given its UTXO view
+  /// and capacity; misbehaving voters per Behavior.
+  VoteVector compute_vote(NodeState& self,
+                          const std::vector<ledger::Transaction>& txs);
+
+  /// Leader-side: tally votes into the decision vector / TXdecSET.
+  VoteVector tally(const std::map<net::NodeId, VoteVector>& votes,
+                   std::size_t dimension, std::size_t committee_size) const;
+
+  /// Recovery.
+  void begin_accusation(NodeState& accuser, std::uint32_t k,
+                        WitnessKind kind, Bytes witness, net::Time now);
+  bool referee_corroborates_timeout(const NodeState& referee,
+                                    const Accusation& accusation) const;
+  void referee_convict(NodeState& referee, const Accusation& accusation,
+                       net::Time now, const Bytes& impeachment);
+  void announce_new_leader(NodeState& referee, std::uint32_t k);
+  void install_new_leader(std::uint32_t k, net::NodeId new_leader,
+                          net::Time now);
+  void redo_leader_duties(std::uint32_t k, net::Time now);
+
+  /// Leader duties per phase (also used on recovery redo).
+  void leader_send_semicommit(NodeState& leader, std::uint32_t k);
+  void leader_start_intra(std::uint32_t k, net::Time now);
+  void leader_start_cross(std::uint32_t k, net::Time now);
+  void leader_handle_cross_in(NodeState& leader, const Bytes& request,
+                              net::Time now);
+  void leader_send_scores(std::uint32_t k, net::Time now);
+
+  /// End-of-round: block assembly, ledger application, reputation.
+  void finalize_round(RoundReport& report);
+  /// §IV-F selection: beacon + next-round roles; runs during the
+  /// selection phase so the block can reference the next assignment.
+  void compute_selection();
+  double storage_proxy(const NodeState& n) const;
+
+  // ---- data ----
+  Params params_;
+  AdversaryConfig adversary_;
+  EngineOptions options_;
+  rng::Stream rng_;
+  std::unique_ptr<net::SimNet> net_;
+  std::vector<NodeState> nodes_;
+  std::map<std::uint64_t, net::NodeId> pk_index_;
+  RoundAssignment assign_;
+  RoundAssignment next_assign_;
+  crypto::Digest randomness_{};
+  crypto::Digest next_randomness_{};
+  std::unique_ptr<ledger::WorkloadGenerator> workload_;
+  std::vector<ledger::UtxoStore> shard_state_;
+  ledger::Chain chain_;
+  // §IV-G Remaining TX List: valid transactions offered but not packed
+  // this round are carried into the next round's lists.
+  std::vector<ledger::Transaction> carryover_;
+  std::vector<CommitteeRound> committees_;
+  std::uint64_t round_ = 1;
+  net::Time round_start_ = 0.0;
+  net::Phase current_phase_ = net::Phase::kIdle;
+  std::vector<RecoveryEvent> recovery_log_;
+  // Reputation deltas accumulated during the round, applied at block time.
+  std::map<net::NodeId, double> pending_scores_;
+  std::set<net::NodeId> convicted_leaders_;
+  // Registered participants for next round (PoW solutions received).
+  std::set<net::NodeId> registered_;
+  // Serialized block awaiting / holding certification this round.
+  Bytes block_payload_;
+};
+
+}  // namespace cyc::protocol

@@ -1,0 +1,641 @@
+// Engine part 2: phase drivers, message handlers, Algorithm 3 plumbing,
+// leader duties and the recovery procedure (Alg. 6).
+#include <algorithm>
+
+#include "protocol/engine.hpp"
+#include "protocol/payloads.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/pow.hpp"
+#include "support/serde.hpp"
+
+namespace cyc::protocol {
+
+namespace {
+
+// Sequence-number layout per scope (unique and monotone per instance as
+// the paper requires; attempts after recovery get fresh numbers).
+constexpr std::uint64_t sn_intra(std::uint32_t attempt) { return 100 + attempt; }
+constexpr std::uint64_t sn_score(std::uint32_t attempt) { return 150 + attempt; }
+constexpr std::uint64_t sn_utxo(std::uint32_t attempt) { return 180 + attempt; }
+std::uint64_t sn_cross_out(std::uint32_t dest, std::uint32_t attempt) {
+  return 1000 + static_cast<std::uint64_t>(dest) * 16 + attempt;
+}
+std::uint64_t sn_cross_in(std::uint32_t origin, std::uint32_t attempt) {
+  return 100000 + static_cast<std::uint64_t>(origin) * 16 + attempt;
+}
+// Referee scope:
+std::uint64_t sn_semi_check(std::uint32_t k) { return 1000 + k; }
+constexpr std::uint64_t kSnBlock = 1;
+std::uint64_t sn_reselect(std::uint32_t k, std::uint32_t attempt) {
+  return 5000 + static_cast<std::uint64_t>(k) * 16 + attempt;
+}
+
+bool is_cross_in_sn(std::uint64_t sn) { return sn >= 100000; }
+std::uint32_t cross_in_origin(std::uint64_t sn) {
+  return static_cast<std::uint32_t>((sn - 100000) / 16);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Phase drivers
+// ---------------------------------------------------------------------------
+
+void Engine::phase_config(net::Time at) {
+  net_->set_phase(net::Phase::kCommitteeConfig);
+  current_phase_ = net::Phase::kCommitteeConfig;
+  // Key members seed their list S with the committee's key members
+  // (addresses known from block B^{r-1}).
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    for (net::NodeId id : assign_.committees[k].key_members()) {
+      NodeState& key_member = nodes_[id];
+      for (net::NodeId peer : assign_.committees[k].key_members()) {
+        if (key_member.known_pks.insert(nodes_[peer].keys.pk.y).second) {
+          key_member.member_list.push_back(nodes_[peer].keys.pk);
+        }
+      }
+    }
+  }
+  // Non-key members run CRYPTO_SORT and register with the key members.
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    for (net::NodeId id : assign_.committees[k].commons) {
+      NodeState& common = nodes_[id];
+      if (!common.is_active(round_)) continue;
+      common.known_pks.insert(common.keys.pk.y);
+      common.member_list.push_back(common.keys.pk);
+      wire::Intro intro{common.id, common.keys.pk, common.ticket};
+      const Bytes payload = intro.serialize();
+      for (net::NodeId km : assign_.committees[k].key_members()) {
+        net_->send(common.id, km, net::Tag::kConfig, payload);
+      }
+    }
+  }
+  (void)at;
+}
+
+void Engine::phase_semicommit(net::Time at) {
+  net_->set_phase(net::Phase::kSemiCommit);
+  current_phase_ = net::Phase::kSemiCommit;
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    NodeState& leader = nodes_[committees_[k].current_leader];
+    if (!leader.is_active(round_)) continue;
+    leader_send_semicommit(leader, k);
+  }
+  // A silent leader is only impeachable once common members can
+  // corroborate the silence (they never see SEMI_COM traffic), so the
+  // timeout accusation for crashed leaders fires at the intra deadline.
+  (void)at;
+}
+
+void Engine::phase_intra(net::Time at) {
+  net_->set_phase(net::Phase::kIntraConsensus);
+  current_phase_ = net::Phase::kIntraConsensus;
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    leader_start_intra(k, at);
+  }
+  const net::Time deadline =
+      at + 0.7 * params_.intra_duration * params_.delays.delta;
+  net_->schedule(deadline, [this](net::Time now) {
+    if (!options_.recovery_enabled) return;
+    for (std::uint32_t k = 0; k < params_.m; ++k) {
+      for (net::NodeId id : assign_.committees[k].partial) {
+        NodeState& pm = nodes_[id];
+        if (!pm.is_active(round_) || pm.misbehaves(round_)) continue;
+        if (!pm.leader_sent_txlist && !committees_[k].leader_convicted) {
+          begin_accusation(pm, k, WitnessKind::kTimeout, {}, now);
+          break;
+        }
+      }
+    }
+    // Framers strike here: fabricate a witness against an honest leader.
+    for (std::uint32_t k = 0; k < params_.m; ++k) {
+      for (net::NodeId id : assign_.committees[k].partial) {
+        NodeState& pm = nodes_[id];
+        if (pm.behavior == Behavior::kFramer && pm.misbehaves(round_) &&
+            !pm.accused_this_round) {
+          Writer w;
+          w.str("bogus-witness");
+          begin_accusation(pm, k, WitnessKind::kEquivocation, w.take(), now);
+        }
+      }
+    }
+  });
+}
+
+void Engine::phase_inter(net::Time at) {
+  net_->set_phase(net::Phase::kInterConsensus);
+  current_phase_ = net::Phase::kInterConsensus;
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    leader_start_cross(k, at);
+  }
+}
+
+void Engine::phase_reputation(net::Time at) {
+  net_->set_phase(net::Phase::kReputation);
+  current_phase_ = net::Phase::kReputation;
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    leader_send_scores(k, at);
+  }
+}
+
+void Engine::phase_selection(net::Time at) {
+  net_->set_phase(net::Phase::kSelection);
+  current_phase_ = net::Phase::kSelection;
+  const Bytes challenge =
+      concat({bytes_of("cyc.round"), be64(round_),
+              crypto::digest_to_bytes(randomness_)});
+  const std::uint64_t target = crypto::pow_target_for_bits(params_.pow_bits);
+  for (auto& n : nodes_) {
+    if (!n.is_active(round_ + 1)) continue;  // crashed nodes sit out
+    const Bytes per_node = concat({challenge, be64(n.keys.pk.y)});
+    const auto solution = crypto::pow_solve(per_node, target, 0, 1u << 20);
+    if (!solution) continue;
+    wire::PowMsg msg{n.id, n.keys.pk, solution->nonce, solution->digest};
+    const Bytes payload = msg.serialize();
+    for (net::NodeId rm : assign_.referees) {
+      net_->send(n.id, rm, net::Tag::kPowSolution, payload);
+    }
+  }
+  const net::Time when =
+      at + 0.8 * params_.selection_duration * params_.delays.delta;
+  net_->schedule(when, [this](net::Time) { compute_selection(); });
+}
+
+void Engine::phase_block(net::Time at) {
+  net_->set_phase(net::Phase::kBlock);
+  current_phase_ = net::Phase::kBlock;
+  // The designated referee proposes the block content; C_R agrees via
+  // Algorithm 3; on certification the block is released to everyone.
+  const net::NodeId proposer =
+      assign_.referees[kSnBlock % assign_.referees.size()];
+  NodeState& referee = nodes_[proposer];
+  wire::BlockMsg block;
+  block.round = round_;
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    if (committees_[k].intra_result) {
+      const auto decision =
+          wire::IntraDecision::deserialize(*committees_[k].intra_result);
+      for (const auto& tx : decision.txdec_set) block.txs.push_back(tx);
+    }
+    for (const auto& [origin, payload] : committees_[k].cross_results) {
+      const auto result = wire::CrossResultMsg::deserialize(payload);
+      for (const auto& tx : result.request.txs) block.txs.push_back(tx);
+    }
+  }
+  block.randomness = next_randomness_;
+  std::vector<Bytes> leaves;
+  leaves.reserve(block.txs.size());
+  for (const auto& tx : block.txs) leaves.push_back(tx.serialize());
+  block.body_root = crypto::MerkleTree(leaves).root();
+  block_payload_ = block.serialize();
+  leader_start_instance(referee, params_.m, kSnBlock, block_payload_);
+  // Committee leaders also certify their final UTXO list for hand-off to
+  // the next round's partial sets (§IV-G).
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    NodeState& leader = nodes_[committees_[k].current_leader];
+    if (!leader.is_active(round_) ||
+        (leader.misbehaves(round_) && leader.behavior == Behavior::kCrash)) {
+      continue;
+    }
+    Writer w;
+    w.str("UTXO_FINAL");
+    w.u32(k);
+    w.bytes(crypto::digest_to_bytes(leader.utxo.digest()));
+    leader_start_instance(leader, k, sn_utxo(committees_[k].attempt),
+                          w.take());
+  }
+  (void)at;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+void Engine::handle(net::NodeId id, const net::Message& msg, net::Time now) {
+  NodeState& self = nodes_[id];
+  if (!self.is_active(round_)) return;  // crashed: pretend offline
+  try {
+    switch (msg.tag) {
+      case net::Tag::kConfig: on_config(self, msg); break;
+      case net::Tag::kMemberList: on_member_list(self, msg); break;
+      case net::Tag::kMember: on_member(self, msg); break;
+      case net::Tag::kPropose:
+      case net::Tag::kEcho:
+      case net::Tag::kConfirm:
+        on_consensus_msg(self, msg, now);
+        break;
+      case net::Tag::kSemiCommit: on_semicommit(self, msg, now); break;
+      case net::Tag::kSemiCommitAck: on_semicommit_ack(self, msg, now); break;
+      case net::Tag::kTxList: on_txlist(self, msg); break;
+      case net::Tag::kVote: on_vote(self, msg); break;
+      case net::Tag::kCrossTxList: on_cross_txlist(self, msg, now); break;
+      case net::Tag::kCrossPartialHint: on_cross_hint(self, msg, now); break;
+      case net::Tag::kCrossResult: on_cross_result(self, msg); break;
+      case net::Tag::kScoreReport: on_score_report(self, msg); break;
+      case net::Tag::kIntraResult: on_intra_result(self, msg); break;
+      case net::Tag::kAccuse: on_accuse(self, msg, now); break;
+      case net::Tag::kImpeachVote: on_impeach_vote(self, msg, now); break;
+      case net::Tag::kProsecute: on_prosecute(self, msg, now); break;
+      case net::Tag::kNewLeader: on_new_leader(self, msg, now); break;
+      case net::Tag::kPowSolution: {
+        if (self.role != Role::kReferee) break;
+        const auto pow = wire::PowMsg::deserialize(msg.payload);
+        const Bytes challenge =
+            concat({bytes_of("cyc.round"), be64(round_),
+                    crypto::digest_to_bytes(randomness_), be64(pow.pk.y)});
+        if (crypto::pow_verify(challenge, crypto::pow_target_for_bits(
+                                              params_.pow_bits),
+                               {pow.nonce, pow.digest})) {
+          registered_.insert(pow.node);
+        }
+        break;
+      }
+      case net::Tag::kBlock: {
+        // Members refresh their shard view from the released block.
+        if (self.committee >= 0) {
+          const auto block = wire::BlockMsg::deserialize(msg.payload);
+          for (const auto& tx : block.txs) self.utxo.apply(tx);
+        }
+        break;
+      }
+      case net::Tag::kBlockPermit: {
+        // §VIII-B: permitted leader broadcasts its committee's sub-block.
+        if (self.committee < 0) break;
+        const std::uint32_t k = static_cast<std::uint32_t>(self.committee);
+        if (self.id != committees_[k].current_leader) break;
+        if (!committees_[k].intra_result) break;
+        const auto decision =
+            wire::IntraDecision::deserialize(*committees_[k].intra_result);
+        wire::BlockMsg sub;
+        sub.round = round_;
+        sub.txs = decision.txdec_set;
+        sub.randomness = next_randomness_;
+        const Bytes payload = sub.serialize();
+        for (const auto& n : nodes_) {
+          if (n.id == self.id) continue;
+          net_->send(self.id, n.id, net::Tag::kSubBlock, payload);
+        }
+        break;
+      }
+      case net::Tag::kSubBlock: {
+        if (self.committee >= 0) {
+          const auto sub = wire::BlockMsg::deserialize(msg.payload);
+          for (const auto& tx : sub.txs) self.utxo.apply(tx);
+        }
+        break;
+      }
+      case net::Tag::kScoreList:
+      case net::Tag::kAbort:
+      case net::Tag::kUtxoHandoff:
+      case net::Tag::kBeaconShare:
+      case net::Tag::kPreCommQuery:
+      case net::Tag::kPreCommReply:
+        break;  // accounted, no further state transitions needed
+      default:
+        break;
+    }
+  } catch (const std::exception&) {
+    // Malformed payloads from adversarial senders are dropped silently;
+    // honest code never produces them.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Committee configuration (Alg. 2)
+// ---------------------------------------------------------------------------
+
+void Engine::on_config(NodeState& self, const net::Message& msg) {
+  if (self.role != Role::kLeader && self.role != Role::kPartial) return;
+  if (self.misbehaves(round_) && self.behavior == Behavior::kCrash) return;
+  const auto intro = wire::Intro::deserialize(msg.payload);
+  if (intro.ticket.committee != static_cast<std::uint32_t>(self.committee)) {
+    return;
+  }
+  if (!verify_sortition(intro.pk, round_, randomness_, params_.m,
+                        intro.ticket)) {
+    return;
+  }
+  // Respond with the current list, then register the newcomer.
+  wire::MemberListMsg list;
+  for (const auto& pk : self.member_list) {
+    const net::NodeId nid = node_of_pk(pk);
+    list.nodes.push_back(nid);
+    list.pks.push_back(pk);
+  }
+  net_->send(self.id, intro.node, net::Tag::kMemberList, list.serialize());
+  if (self.known_pks.insert(intro.pk.y).second) {
+    self.member_list.push_back(intro.pk);
+  }
+}
+
+void Engine::on_member_list(NodeState& self, const net::Message& msg) {
+  const auto list = wire::MemberListMsg::deserialize(msg.payload);
+  std::vector<net::NodeId> fresh;
+  for (std::size_t i = 0; i < list.pks.size(); ++i) {
+    if (self.known_pks.insert(list.pks[i].y).second) {
+      self.member_list.push_back(list.pks[i]);
+      fresh.push_back(list.nodes[i]);
+    }
+  }
+  // Introduce ourselves to previously unconnected members on the list.
+  wire::Intro intro{self.id, self.keys.pk, self.ticket};
+  const Bytes payload = intro.serialize();
+  for (net::NodeId peer : fresh) {
+    if (peer == self.id) continue;
+    net_->send(self.id, peer, net::Tag::kMember, payload);
+  }
+}
+
+void Engine::on_member(NodeState& self, const net::Message& msg) {
+  const auto intro = wire::Intro::deserialize(msg.payload);
+  if (intro.ticket.committee != static_cast<std::uint32_t>(self.committee)) {
+    return;
+  }
+  if (!verify_sortition(intro.pk, round_, randomness_, params_.m,
+                        intro.ticket)) {
+    return;
+  }
+  if (self.known_pks.insert(intro.pk.y).second) {
+    self.member_list.push_back(intro.pk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 plumbing
+// ---------------------------------------------------------------------------
+
+void Engine::send_consensus(net::NodeId from,
+                            const std::vector<net::NodeId>& to, net::Tag tag,
+                            std::uint32_t scope, std::uint64_t sn,
+                            const Bytes& wire) {
+  wire::ConsensusEnvelope env{scope, sn, wire};
+  net_->multicast(from, to, tag, env.serialize());
+}
+
+void Engine::leader_start_instance(NodeState& self, std::uint32_t scope,
+                                   std::uint64_t sn, Bytes message) {
+  consensus::InstanceId iid{round_, sn};
+  auto [it, inserted] = self.lead.try_emplace(
+      sn, consensus::LeaderInstance(self.keys, iid, std::move(message),
+                                    instance_size(scope)));
+  if (!inserted) return;
+  const auto peers = instance_peers(scope);
+
+  if (self.misbehaves(round_) && self.behavior == Behavior::kEquivocator &&
+      scope < params_.m) {
+    // Propose the real message to half the committee and a divergent one
+    // to the other half (detected via relayed PROPOSEs).
+    const auto honest_wire = it->second.make_propose().serialize();
+    const auto evil_wire =
+        it->second.make_equivocating_propose(bytes_of("equivocation"))
+            .serialize();
+    std::vector<net::NodeId> first_half, second_half;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      (i % 2 == 0 ? first_half : second_half).push_back(peers[i]);
+    }
+    send_consensus(self.id, first_half, net::Tag::kPropose, scope, sn,
+                   honest_wire);
+    send_consensus(self.id, second_half, net::Tag::kPropose, scope, sn,
+                   evil_wire);
+    return;
+  }
+
+  const auto wire = it->second.make_propose().serialize();
+  send_consensus(self.id, peers, net::Tag::kPropose, scope, sn, wire);
+  // The leader processes its own proposal as a member too (it counts
+  // toward the >C/2 quorum).
+  auto [mit, minserted] = self.member.try_emplace(
+      sn, consensus::MemberInstance(self.keys, self.id, iid, self.keys.pk,
+                                    instance_size(scope)));
+  if (minserted) {
+    auto out = mit->second.on_propose(
+        consensus::ProposeWire::deserialize(wire));
+    process_member_output(self, scope, sn, std::move(out), net_->now());
+  }
+}
+
+void Engine::process_member_output(NodeState& self, std::uint32_t scope,
+                                   std::uint64_t sn,
+                                   consensus::MemberOutput out,
+                                   net::Time now) {
+  if (out.witness && scope < params_.m && options_.recovery_enabled &&
+      !self.misbehaves(round_)) {
+    // Only partial-set members arouse the recovery procedure (§IV-B);
+    // common members who catch the leader simply stop participating.
+    if (self.role == Role::kPartial && !self.accused_this_round) {
+      begin_accusation(self, scope, WitnessKind::kEquivocation,
+                       out.witness->serialize(), now);
+    }
+    return;
+  }
+  if (out.echo_broadcast) {
+    send_consensus(self.id, instance_peers(scope), net::Tag::kEcho, scope, sn,
+                   out.echo_broadcast->serialize());
+    // Deliver our echo to our own member instance as well.
+    auto it = self.member.find(sn);
+    if (it != self.member.end()) {
+      auto echo_out = it->second.on_echo(*out.echo_broadcast);
+      if (echo_out.confirm_to_leader && !out.confirm_to_leader) {
+        out.confirm_to_leader = std::move(echo_out.confirm_to_leader);
+      }
+    }
+  }
+  if (out.confirm_to_leader) {
+    const crypto::PublicKey leader_pk = expected_instance_leader(scope, sn);
+    const net::NodeId leader_id = node_of_pk(leader_pk);
+    if (leader_id == self.id) {
+      auto lit = self.lead.find(sn);
+      if (lit != self.lead.end()) {
+        if (auto cert = lit->second.on_confirm(*out.confirm_to_leader)) {
+          self.certs[sn] = *cert;
+          on_cert(self, scope, sn, *cert);
+        }
+      }
+    } else if (leader_id != net::kNoNode) {
+      wire::ConsensusEnvelope env{scope, sn,
+                                  out.confirm_to_leader->serialize()};
+      net_->send(self.id, leader_id, net::Tag::kConfirm, env.serialize());
+    }
+  }
+}
+
+void Engine::on_consensus_msg(NodeState& self, const net::Message& msg,
+                              net::Time now) {
+  const auto env = wire::ConsensusEnvelope::deserialize(msg.payload);
+  // Route by scope: committee members only participate in instances of
+  // their own committee; referees in referee-scope instances.
+  if (env.scope == params_.m) {
+    if (self.role != Role::kReferee) return;
+  } else {
+    if (self.committee != static_cast<std::int64_t>(env.scope)) return;
+  }
+
+  const consensus::InstanceId iid{round_, env.sn};
+  const crypto::PublicKey leader_pk =
+      expected_instance_leader(env.scope, env.sn);
+
+  if (msg.tag == net::Tag::kConfirm) {
+    auto it = self.lead.find(env.sn);
+    if (it == self.lead.end()) return;
+    if (auto cert =
+            it->second.on_confirm(consensus::ConfirmWire::deserialize(env.wire))) {
+      self.certs[env.sn] = *cert;
+      on_cert(self, env.scope, env.sn, *cert);
+    }
+    return;
+  }
+
+  auto [it, inserted] = self.member.try_emplace(
+      env.sn, consensus::MemberInstance(self.keys, self.id, iid, leader_pk,
+                                        instance_size(env.scope)));
+  consensus::MemberOutput out;
+  if (msg.tag == net::Tag::kPropose) {
+    // Track leader engagement for the 2*Gamma concealment rule.
+    if (env.scope < params_.m && is_cross_in_sn(env.sn)) {
+      self.cross_seen_propose.insert(cross_in_origin(env.sn));
+    }
+    out = it->second.on_propose(consensus::ProposeWire::deserialize(env.wire));
+  } else {
+    out = it->second.on_echo(consensus::EchoWire::deserialize(env.wire));
+  }
+  process_member_output(self, env.scope, env.sn, std::move(out), now);
+}
+
+// ---------------------------------------------------------------------------
+// Certificates: what each agreed instance triggers
+// ---------------------------------------------------------------------------
+
+void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
+                     const consensus::QuorumCert& cert) {
+  if (scope == params_.m) {
+    // Referee-scope instances.
+    if (sn == kSnBlock) {
+      // Block certified.
+      auto it = self.lead.find(sn);
+      if (it == self.lead.end()) return;
+      if (options_.extension_parallel_blocks) {
+        // §VIII-B: C_R only issues permissions; each leader broadcasts
+        // its own sub-block, removing the O(mn) burden from C_R.
+        for (std::uint32_t k = 0; k < params_.m; ++k) {
+          net_->send(self.id, committees_[k].current_leader,
+                     net::Tag::kBlockPermit, Bytes(40, 0));
+        }
+        return;
+      }
+      // Release to the whole network (§IV-G): the O(mn) burden of
+      // Table II.
+      for (const auto& n : nodes_) {
+        if (n.id == self.id) continue;
+        net_->send(self.id, n.id, net::Tag::kBlock, block_payload_);
+      }
+      return;
+    }
+    if (sn >= 5000 && sn < 100000) {
+      // Leader re-selection agreed: announce the new leader.
+      const std::uint32_t k = static_cast<std::uint32_t>((sn - 5000) / 16);
+      announce_new_leader(self, k);
+      return;
+    }
+    if (sn >= 1000 && sn < 5000) {
+      // Semi-commitment accepted by C_R: relay to all key members.
+      const std::uint32_t k = static_cast<std::uint32_t>(sn - 1000);
+      wire::SemiCommitAck ack;
+      ack.committee = k;
+      auto cit = self.commitments.find(k);
+      auto lit = self.lists.find(k);
+      if (cit == self.commitments.end() || lit == self.lists.end()) return;
+      ack.commitment = cit->second;
+      ack.members = lit->second;
+      ack.cert = cert.serialize();
+      const Bytes payload = ack.serialize();
+      for (std::uint32_t j = 0; j < params_.m; ++j) {
+        for (net::NodeId km : assign_.committees[j].key_members()) {
+          net_->send(self.id, km, net::Tag::kSemiCommitAck, payload);
+        }
+      }
+      return;
+    }
+    return;
+  }
+
+  // Committee-scope instances: only the current leader acts on certs.
+  if (self.id != committees_[scope].current_leader) return;
+  const std::uint32_t k = scope;
+
+  if (sn >= 100 && sn < 150) {
+    // Intra-committee decision certified -> report to C_R (Alg. 5 l.19).
+    auto it = self.lead.find(sn);
+    if (it == self.lead.end()) return;
+    wire::CertifiedResult result;
+    result.payload = committees_[k].pending_intra_payload;
+    result.cert = cert.serialize();
+    const Bytes payload = result.serialize();
+    for (net::NodeId rm : assign_.referees) {
+      net_->send(self.id, rm, net::Tag::kIntraResult, payload);
+    }
+    self.sent_intra_result = true;
+    return;
+  }
+  if (sn >= 150 && sn < 180) {
+    // ScoreList certified -> report to C_R (§IV-E).
+    wire::CertifiedResult result;
+    result.payload = committees_[k].pending_score_payload;
+    result.cert = cert.serialize();
+    const Bytes payload = result.serialize();
+    for (net::NodeId rm : assign_.referees) {
+      net_->send(self.id, rm, net::Tag::kScoreReport, payload);
+    }
+    return;
+  }
+  if (sn >= 180 && sn < 200) {
+    // Final UTXO list certified -> hand off to C_R, which forwards to the
+    // next round's partial sets (§IV-G).
+    Writer w;
+    w.u32(k);
+    w.bytes(crypto::digest_to_bytes(self.utxo.digest()));
+    w.bytes(cert.serialize());
+    const Bytes payload = w.take();
+    for (net::NodeId rm : assign_.referees) {
+      net_->send(self.id, rm, net::Tag::kUtxoHandoff, payload);
+    }
+    return;
+  }
+  if (sn >= 1000 && sn < 100000) {
+    // Cross-out list certified -> send to destination leader and its
+    // partial set (§IV-D; the hint enables the 2*Gamma rule of Lemma 7).
+    const std::uint32_t dest = static_cast<std::uint32_t>((sn - 1000) / 16);
+    auto pit = committees_[k].pending_cross_out.find(dest);
+    if (pit == committees_[k].pending_cross_out.end()) return;
+    wire::CrossTxListMsg request =
+        wire::CrossTxListMsg::deserialize(pit->second);
+    request.origin_cert = cert.serialize();
+    pit->second = request.serialize();
+    const Bytes payload = pit->second;
+    const net::NodeId dest_leader = committees_[dest].current_leader;
+    net_->send(self.id, dest_leader, net::Tag::kCrossTxList, payload);
+    for (net::NodeId pm : assign_.committees[dest].partial) {
+      net_->send(self.id, pm, net::Tag::kCrossPartialHint, payload);
+    }
+    return;
+  }
+  if (is_cross_in_sn(sn)) {
+    // Acceptance certified -> reply to the origin leader and inform C_R.
+    const std::uint32_t origin = cross_in_origin(sn);
+    auto rit = self.cross_in.find(origin);
+    if (rit == self.cross_in.end()) return;
+    wire::CrossResultMsg result;
+    result.request = wire::CrossTxListMsg::deserialize(rit->second);
+    result.dest_cert = cert.serialize();
+    result.dest_members = committee_pks(k);
+    const Bytes payload = result.serialize();
+    net_->send(self.id, committees_[origin].current_leader,
+               net::Tag::kCrossResult, payload);
+    for (net::NodeId rm : assign_.referees) {
+      net_->send(self.id, rm, net::Tag::kCrossResult, payload);
+    }
+    self.cross_done.insert(origin);
+    return;
+  }
+}
+
+}  // namespace cyc::protocol

@@ -1,0 +1,52 @@
+// Protocol parameters (§III-A notation: n nodes, m committees of expected
+// size c, partial sets of size lambda, referee committee C_R).
+#pragma once
+
+#include <cstdint>
+
+#include "net/simnet.hpp"
+
+namespace cyc::protocol {
+
+struct Params {
+  std::uint32_t m = 4;             ///< number of committees
+  std::uint32_t c = 12;            ///< committee size
+  std::uint32_t lambda = 3;        ///< partial-set size (paper suggests 40)
+  std::uint32_t referee_size = 9;  ///< |C_R|
+
+  net::DelayModel delays{};
+
+  /// Workload knobs.
+  std::uint32_t txs_per_committee = 16;  ///< TXList length per round
+  double cross_shard_fraction = 0.2;
+  double invalid_fraction = 0.05;
+  std::uint32_t users = 0;  ///< 0 = auto (16 per shard)
+
+  /// Vote capacity model (§VII: reputation reflects computing power):
+  /// node capacity is drawn uniformly from [capacity_min, capacity_max];
+  /// a node judges at most `capacity` transactions per list and votes
+  /// Unknown beyond that.
+  std::uint32_t capacity_min = 64;
+  std::uint32_t capacity_max = 64;
+
+  /// PoW participation puzzle difficulty (leading zero bits; small by
+  /// default so simulations stay fast).
+  unsigned pow_bits = 8;
+
+  /// Phase schedule (in units of the intra-committee bound Delta), per
+  /// the paper's recommendation that semi-commitment exchange starts 8
+  /// Delta after configuration.
+  double config_duration = 8.0;
+  double semicommit_duration = 24.0;
+  double intra_duration = 30.0;
+  double inter_duration = 40.0;
+  double reputation_duration = 24.0;
+  double selection_duration = 16.0;
+  double block_duration = 24.0;
+
+  std::uint64_t seed = 1;
+
+  std::uint32_t total_nodes() const { return referee_size + m * c; }
+};
+
+}  // namespace cyc::protocol

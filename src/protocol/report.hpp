@@ -1,0 +1,82 @@
+// Round / run reports: everything the experiments and tests observe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/stats.hpp"
+#include "protocol/adversary.hpp"
+#include "protocol/roles.hpp"
+
+namespace cyc::protocol {
+
+struct RecoveryEvent {
+  std::uint64_t round = 0;
+  std::uint32_t committee = 0;
+  net::NodeId old_leader = net::kNoNode;
+  net::NodeId new_leader = net::kNoNode;
+  std::string witness_kind;
+};
+
+struct CommitteeRoundStats {
+  std::uint32_t committee = 0;
+  std::size_t txs_listed = 0;       ///< offered in TXList(s)
+  std::size_t txs_committed = 0;    ///< reached the block
+  std::size_t cross_committed = 0;  ///< committed cross-shard txs (origin here)
+  bool produced_output = false;     ///< referee received a certified result
+  std::size_t recoveries = 0;
+};
+
+struct RoundReport {
+  std::uint64_t round = 0;
+  std::size_t txs_committed = 0;       ///< total in block B^r
+  std::size_t intra_committed = 0;
+  std::size_t cross_committed = 0;
+  std::size_t txs_offered = 0;
+  std::size_t invalid_rejected = 0;    ///< ground-truth-invalid txs kept out
+  std::size_t invalid_committed = 0;   ///< safety violations (must be 0)
+  bool block_void = false;             ///< no committee produced output
+  std::size_t recoveries = 0;
+  std::vector<RecoveryEvent> recovery_events;
+  std::vector<CommitteeRoundStats> committees;
+  double round_latency = 0.0;          ///< simulated time consumed
+  double total_fees = 0.0;
+  net::Counter traffic_total;
+
+  /// Per-role traffic for this round (Table II measurement).
+  std::map<Role, net::Counter> traffic_by_role;
+  /// Per (role, phase) traffic.
+  std::map<Role, std::vector<net::Counter>> traffic_by_role_phase;
+  /// Number of nodes that held each role this round.
+  std::map<Role, std::size_t> role_counts;
+  /// Per-role storage proxy (bytes of member lists + commitments + utxo +
+  /// certificates held at round end).
+  std::map<Role, double> storage_by_role;
+};
+
+struct RunReport {
+  std::vector<RoundReport> rounds;
+  std::vector<double> final_reputations;  ///< by node id
+  std::vector<double> final_rewards;      ///< cumulative, by node id
+  std::vector<Behavior> behaviors;        ///< by node id
+
+  std::size_t total_committed() const {
+    std::size_t total = 0;
+    for (const auto& r : rounds) total += r.txs_committed;
+    return total;
+  }
+  std::size_t total_recoveries() const {
+    std::size_t total = 0;
+    for (const auto& r : rounds) total += r.recoveries;
+    return total;
+  }
+  std::size_t total_invalid_committed() const {
+    std::size_t total = 0;
+    for (const auto& r : rounds) total += r.invalid_committed;
+    return total;
+  }
+};
+
+}  // namespace cyc::protocol

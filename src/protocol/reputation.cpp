@@ -1,0 +1,51 @@
+#include "protocol/reputation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cyc::protocol {
+
+double cosine_score(const VoteVector& vote, const VoteVector& decision) {
+  if (vote.size() != decision.size()) {
+    throw std::invalid_argument("cosine_score: dimension mismatch");
+  }
+  double dot = 0.0, norm_v = 0.0, norm_u = 0.0;
+  for (std::size_t k = 0; k < vote.size(); ++k) {
+    const double v = static_cast<double>(static_cast<int>(vote[k]));
+    const double u = static_cast<double>(static_cast<int>(decision[k]));
+    dot += v * u;
+    norm_v += v * v;
+    norm_u += u * u;
+  }
+  if (norm_v == 0.0 || norm_u == 0.0) return 0.0;
+  return dot / (std::sqrt(norm_v) * std::sqrt(norm_u));
+}
+
+std::vector<double> score_votes(const std::vector<VoteVector>& votes,
+                                const VoteVector& decision) {
+  std::vector<double> scores;
+  scores.reserve(votes.size());
+  for (const auto& vote : votes) scores.push_back(cosine_score(vote, decision));
+  return scores;
+}
+
+double g(double reputation) {
+  if (reputation <= 0.0) return std::exp(reputation);
+  return 1.0 + std::log1p(reputation);
+}
+
+std::vector<double> distribute_rewards(const std::vector<double>& reputations,
+                                       double total_fee) {
+  std::vector<double> rewards(reputations.size(), 0.0);
+  double total_weight = 0.0;
+  for (double rep : reputations) total_weight += g(rep);
+  if (total_weight <= 0.0) return rewards;
+  for (std::size_t i = 0; i < reputations.size(); ++i) {
+    rewards[i] = total_fee * g(reputations[i]) / total_weight;
+  }
+  return rewards;
+}
+
+double punish_leader(double reputation) { return std::cbrt(reputation); }
+
+}  // namespace cyc::protocol

@@ -1,0 +1,56 @@
+// Cryptographic sortition (Algorithm 1) and role selection (§IV-F).
+//
+// A non-key node derives its committee for round r from its VRF value on
+// COMMON_MEMBER || r || R^r; the pair (hash, pi) proves membership to any
+// verifier. Referee / partial-set selection uses the difficulty
+// inequality H(r+1 || R^r || PK || role) <= d(role).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/sha256.hpp"
+#include "crypto/vrf.hpp"
+
+namespace cyc::protocol {
+
+struct SortitionTicket {
+  std::uint32_t committee = 0;  ///< id = hash mod m
+  crypto::VrfOutput proof;      ///< (hash, pi) of Alg. 1
+};
+
+/// Alg. 1: CRYPTO_SORT(PK, SK, r, R^r).
+SortitionTicket crypto_sort(const crypto::KeyPair& keys, std::uint64_t round,
+                            const crypto::Digest& randomness, std::uint32_t m);
+
+/// Verify another node's ticket (the VRF_VERIFY of Alg. 2, line 7).
+bool verify_sortition(const crypto::PublicKey& pk, std::uint64_t round,
+                      const crypto::Digest& randomness, std::uint32_t m,
+                      const SortitionTicket& ticket);
+
+/// Role strings of §IV-F.
+inline constexpr std::string_view kRoleReferee = "REFEREE_COMMITTEE_MEMBER";
+inline constexpr std::string_view kRolePartial = "PARTIAL_SET_MEMBER";
+
+/// H(r+1 || R^r || PK || role) as a 64-bit value for the difficulty test.
+std::uint64_t role_hash(std::uint64_t next_round,
+                        const crypto::Digest& randomness,
+                        const crypto::PublicKey& pk, std::string_view role);
+
+/// The difficulty d(role): a threshold chosen so that in expectation
+/// `want` of `population` nodes pass. (A new d(role) may be proposed as
+/// the network size changes, §IV-F.)
+std::uint64_t role_difficulty(std::uint64_t population, std::uint64_t want);
+
+/// True iff `pk` wins the role lottery.
+bool wins_role(std::uint64_t next_round, const crypto::Digest& randomness,
+               const crypto::PublicKey& pk, std::string_view role,
+               std::uint64_t difficulty);
+
+/// For a winning partial-set candidate: the committee it lands in,
+/// H(...) mod m (§IV-F).
+std::uint32_t partial_committee(std::uint64_t next_round,
+                                const crypto::Digest& randomness,
+                                const crypto::PublicKey& pk, std::uint32_t m);
+
+}  // namespace cyc::protocol

@@ -1,0 +1,44 @@
+// Byte-string utilities shared by every module.
+//
+// `Bytes` is the canonical wire/representation type for hashes, keys,
+// signatures, serialized messages and commitments throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyc {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode `data` as a lowercase hex string.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copy the raw characters of `s` into a byte string (no encoding applied).
+Bytes bytes_of(std::string_view s);
+
+/// Append `src` to `dst` in place.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenate any number of byte strings.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Big-endian encoding of a 64-bit integer (8 bytes).
+Bytes be64(std::uint64_t v);
+
+/// Read a big-endian 64-bit integer from the first 8 bytes of `b`.
+/// Throws std::invalid_argument if fewer than 8 bytes are available.
+std::uint64_t read_be64(BytesView b);
+
+/// Constant-style equality for byte strings (length + content).
+bool equal(BytesView a, BytesView b);
+
+}  // namespace cyc

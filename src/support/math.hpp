@@ -1,0 +1,57 @@
+// Numeric kernels for the security analysis (Fig. 5, Table I, §V).
+//
+// Everything is computed in log-space so that probabilities down to
+// ~1e-300 (far below the paper's 2.1e-9 / 8e-20 figures) stay exact in
+// double precision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cyc::math {
+
+/// log(n choose k) via lgamma. Requires 0 <= k <= n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// log of the hypergeometric pmf: drawing exactly x marked items when
+/// sampling c items without replacement from a population of n that
+/// contains t marked items. Returns -inf for impossible x.
+double log_hypergeometric_pmf(std::uint64_t n, std::uint64_t t,
+                              std::uint64_t c, std::uint64_t x);
+
+/// Upper tail Pr[X >= x0] of the hypergeometric distribution (exact sum,
+/// computed in log-space with stable accumulation). This is Eq. (3) of the
+/// paper: the probability a uniformly sampled committee of size c contains
+/// at least x0 malicious nodes.
+double hypergeometric_tail(std::uint64_t n, std::uint64_t t, std::uint64_t c,
+                           std::uint64_t x0);
+
+/// log-space version of hypergeometric_tail (natural log of probability).
+double log_hypergeometric_tail(std::uint64_t n, std::uint64_t t,
+                               std::uint64_t c, std::uint64_t x0);
+
+/// Bernoulli Kullback-Leibler divergence D(a || p) in nats.
+double kl_bernoulli(double a, double p);
+
+/// The paper's Chernoff-style bound e^{-D(1/2 || f) c} on the probability
+/// that at least half of a size-c committee is faulty, when the population
+/// faulty fraction (plus sampling slack) is f (Eq. (3) RHS).
+double kl_tail_bound(double f, double c);
+
+/// The simplified bound e^{-c/12} of Eq. (4).
+double simple_tail_bound(double c);
+
+/// Upper tail Pr[X >= x0] for Binomial(k, p), exact in log-space.
+double binomial_tail(std::uint64_t k, double p, std::uint64_t x0);
+
+/// Numerically stable log(sum exp(xs)).
+double log_sum_exp(const std::vector<double>& xs);
+
+/// log(a + b) given la = log a, lb = log b.
+double log_add(double la, double lb);
+
+/// Least-squares slope of y against x (both already transformed by the
+/// caller; used for log-log complexity fitting in Table II validation).
+double fit_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace cyc::math

@@ -1,0 +1,84 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace cyc::rng {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix(std::uint64_t v) {
+  std::uint64_t s = v;
+  return splitmix64(s);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a name, used to derive child-stream seeds.
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char ch : name) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+}  // namespace
+
+Stream::Stream(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = splitmix64(sm);
+}
+
+Stream Stream::fork(std::string_view name) const {
+  return Stream(mix(seed_ ^ hash_name(name)));
+}
+
+Stream Stream::fork(std::uint64_t index) const {
+  return Stream(mix(seed_ + 0x9e3779b97f4a7c15ull * (index + 1)));
+}
+
+std::uint64_t Stream::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Stream::below(std::uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Stream::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Stream::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Stream::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+}  // namespace cyc::rng

@@ -1,0 +1,147 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cyc::analysis {
+namespace {
+
+TEST(Bounds, Fig5HeadlineNumbers) {
+  // Fig. 5 setting: n=2000 nodes, t=666 malicious.
+  const double p240 = committee_failure_exact(2000, 666, 240);
+  // Paper claims < 2.1e-9 at c=240; our exact tail (failure = faulty
+  // majority-or-tie, consistent with the >C/2 quorum) is the same order.
+  EXPECT_LT(p240, 1e-8);
+  EXPECT_GT(p240, 1e-10);
+  // Union bound over m=20 committees stays tiny.
+  EXPECT_LT(20.0 * p240, 1e-6);
+}
+
+TEST(Bounds, ExactTailDecaysExponentially) {
+  double prev = 1.0;
+  for (std::uint64_t c = 40; c <= 240; c += 40) {
+    const double p = committee_failure_exact(2000, 666, c);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  // Eight-fold doubling of c drops failure by many orders of magnitude.
+  EXPECT_LT(committee_failure_exact(2000, 666, 240) /
+                committee_failure_exact(2000, 666, 40),
+            1e-5);
+}
+
+TEST(Bounds, ExactBelowKlBound) {
+  for (std::uint64_t c : {40u, 80u, 120u, 200u, 240u}) {
+    EXPECT_LE(committee_failure_exact(2000, 666, c),
+              committee_failure_kl_bound(2000, 666, c) * 1.0001)
+        << "c=" << c;
+  }
+}
+
+TEST(Bounds, KlBoundDegenerateWhenHalfFaulty) {
+  // f >= 1/2 means the bound is vacuous (returns 1).
+  EXPECT_EQ(committee_failure_kl_bound(100, 50, 100), 1.0);
+}
+
+TEST(Bounds, SimpleBoundEq4) {
+  EXPECT_NEAR(committee_failure_simple_bound(12), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(committee_failure_simple_bound(240), std::exp(-20.0), 1e-20);
+}
+
+TEST(Bounds, PartialSetPaperValue) {
+  // §V-C: lambda=40 -> < 8e-20 (paper's loose rounding; exact 8.22e-20).
+  const double p = partial_set_failure(1.0 / 3.0, 40);
+  EXPECT_LT(p, 1e-19);
+  EXPECT_GT(p, 1e-20);
+  // m=20 union bound ~ 2e-18.
+  EXPECT_LT(20.0 * p, 2e-18);
+}
+
+TEST(Bounds, PartialSetMonotoneInLambda) {
+  double prev = 1.0;
+  for (std::uint64_t lambda : {1u, 5u, 10u, 20u, 40u}) {
+    const double p = partial_set_failure(1.0 / 3.0, lambda);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Bounds, MonteCarloMatchesExact) {
+  // At a committee size where failure is frequent enough to sample.
+  rng::Stream rng(1);
+  const std::uint64_t n = 200, t = 66, c = 10;
+  const double exact = committee_failure_exact(n, t, c);
+  const double estimate = committee_failure_monte_carlo(n, t, c, 200000, rng);
+  EXPECT_NEAR(estimate, exact, 0.01);
+  EXPECT_GT(exact, 0.005);  // the regime is actually sampleable
+}
+
+TEST(Bounds, MonteCarloZeroWhenNoMalicious) {
+  rng::Stream rng(2);
+  EXPECT_EQ(committee_failure_monte_carlo(100, 0, 10, 1000, rng), 0.0);
+}
+
+TEST(Bounds, TableIFailureOrdering) {
+  // At the paper's operating point, CycLedger's failure probability is
+  // within a small factor of RapidChain's (both e^{-c/12}-driven) and
+  // both beat the e^{-c/40}-scaled protocols at equal c... note the
+  // exponent direction: e^{-c/40} > e^{-c/12} for the same c.
+  ProtocolParamsView p{2000, 16, 125, 40};
+  EXPECT_LT(rapidchain_round_failure(p), elastico_round_failure(p));
+  EXPECT_LT(cycledger_round_failure(p), elastico_round_failure(p));
+  // CycLedger pays only the negligible (1/3)^lambda on top of
+  // RapidChain's committee term.
+  EXPECT_NEAR(cycledger_round_failure(p),
+              16.0 * std::exp(-125.0 / 12.0), 1e-6);
+}
+
+TEST(Bounds, CycledgerPartialTermNegligibleAtLambda40) {
+  ProtocolParamsView p{2000, 16, 125, 40};
+  const double with_partial = cycledger_round_failure(p);
+  ProtocolParamsView p_inf = p;
+  p_inf.lambda = 400;
+  const double without = cycledger_round_failure(p_inf);
+  EXPECT_NEAR(with_partial, without, 1e-12);
+}
+
+TEST(Bounds, StorageFormulasTableI) {
+  ProtocolParamsView p{2000, 16, 125, 40};
+  EXPECT_DOUBLE_EQ(elastico_storage(p), 2000.0);          // O(n)
+  EXPECT_DOUBLE_EQ(rapidchain_storage(p), 125.0);         // O(c)
+  EXPECT_NEAR(omniledger_storage(p), 125.0 + std::log2(17.0), 1e-9);
+  EXPECT_NEAR(cycledger_storage(p), 16.0 * 16.0 / 2000.0 + 125.0, 1e-9);
+  // CycLedger's m^2/n term is tiny at sane scales: storage ~ O(c).
+  EXPECT_LT(cycledger_storage(p), elastico_storage(p));
+}
+
+TEST(Bounds, FailureProbsCapAtOne) {
+  ProtocolParamsView tiny{40, 4, 10, 2};
+  EXPECT_LE(elastico_round_failure(tiny), 1.0);
+  EXPECT_LE(rapidchain_round_failure(tiny), 1.0);
+  EXPECT_LE(cycledger_round_failure(tiny), 1.0);
+}
+
+// Property sweep: Monte-Carlo vs exact across parameter combinations.
+struct McCase {
+  std::uint64_t n, t, c;
+};
+
+class MonteCarloSweep : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(MonteCarloSweep, AgreesWithExactTail) {
+  const auto [n, t, c] = GetParam();
+  rng::Stream rng(n * 31 + t * 7 + c);
+  const double exact = committee_failure_exact(n, t, c);
+  const double estimate = committee_failure_monte_carlo(n, t, c, 100000, rng);
+  EXPECT_NEAR(estimate, exact, std::max(0.01, 4.0 * std::sqrt(exact / 100000.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MonteCarloSweep,
+    ::testing::Values(McCase{100, 33, 8}, McCase{200, 66, 10},
+                      McCase{500, 166, 12}, McCase{2000, 666, 14},
+                      McCase{100, 49, 10}, McCase{60, 20, 6}));
+
+}  // namespace
+}  // namespace cyc::analysis

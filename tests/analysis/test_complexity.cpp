@@ -1,0 +1,113 @@
+#include "analysis/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyc::analysis {
+namespace {
+
+using net::Phase;
+using protocol::Role;
+
+TEST(Complexity, Names) {
+  EXPECT_EQ(complexity_name(Complexity::kConstant), "O(1)");
+  EXPECT_EQ(complexity_name(Complexity::kC2), "O(c^2)");
+  EXPECT_EQ(complexity_name(Complexity::kMN), "O(mn)");
+  EXPECT_EQ(complexity_name(Complexity::kNone), "-");
+}
+
+TEST(Complexity, TableIIExpectedCommCells) {
+  // Spot-check cells straight out of Table II.
+  EXPECT_EQ(expected_comm(Phase::kCommitteeConfig, Role::kCommon),
+            Complexity::kC);
+  EXPECT_EQ(expected_comm(Phase::kCommitteeConfig, Role::kLeader),
+            Complexity::kC2);
+  EXPECT_EQ(expected_comm(Phase::kSemiCommit, Role::kReferee),
+            Complexity::kM2);
+  EXPECT_EQ(expected_comm(Phase::kIntraConsensus, Role::kCommon),
+            Complexity::kC);
+  EXPECT_EQ(expected_comm(Phase::kInterConsensus, Role::kCommon),
+            Complexity::kM);
+  EXPECT_EQ(expected_comm(Phase::kInterConsensus, Role::kLeader),
+            Complexity::kN);
+  EXPECT_EQ(expected_comm(Phase::kBlock, Role::kReferee), Complexity::kMN);
+}
+
+TEST(Complexity, TableIIExpectedStorageCells) {
+  EXPECT_EQ(expected_storage(Phase::kIntraConsensus, Role::kCommon),
+            Complexity::kConstant);
+  EXPECT_EQ(expected_storage(Phase::kIntraConsensus, Role::kPartial),
+            Complexity::kC);
+  EXPECT_EQ(expected_storage(Phase::kSemiCommit, Role::kLeader),
+            Complexity::kM);
+  EXPECT_EQ(expected_storage(Phase::kBlock, Role::kCommon), Complexity::kC);
+  EXPECT_EQ(expected_storage(Phase::kBlock, Role::kReferee), Complexity::kN);
+}
+
+TEST(Complexity, ValueEvaluation) {
+  EXPECT_DOUBLE_EQ(complexity_value(Complexity::kConstant, 100, 10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(complexity_value(Complexity::kC, 100, 10, 10), 10.0);
+  EXPECT_DOUBLE_EQ(complexity_value(Complexity::kC2, 100, 10, 10), 100.0);
+  EXPECT_DOUBLE_EQ(complexity_value(Complexity::kMN, 100, 10, 10), 1000.0);
+}
+
+TEST(Complexity, ClassifyExactCurves) {
+  // Build synthetic measurements that follow each class exactly and
+  // check they classify back.
+  std::vector<double> n, m, c;
+  for (double mm : {4.0, 8.0, 16.0, 32.0}) {
+    m.push_back(mm);
+    c.push_back(10.0);
+    n.push_back(mm * 10.0);
+  }
+  auto curve = [&](Complexity target) {
+    std::vector<double> y;
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      y.push_back(3.7 * complexity_value(target, n[i], m[i], c[i]));
+    }
+    return y;
+  };
+  EXPECT_EQ(classify_scaling(n, m, c, curve(Complexity::kM)), Complexity::kM);
+  EXPECT_EQ(classify_scaling(n, m, c, curve(Complexity::kM2)),
+            Complexity::kM2);
+  // With c fixed, O(n) and O(m) coincide up to a constant; both are
+  // acceptable classifications for an O(n) curve here.
+  const auto got = classify_scaling(n, m, c, curve(Complexity::kN));
+  EXPECT_TRUE(got == Complexity::kN || got == Complexity::kM);
+}
+
+TEST(Complexity, ClassifyWithVaryingC) {
+  // Vary c while fixing m to separate O(c) from O(m).
+  std::vector<double> n, m, c, y;
+  for (double cc : {8.0, 16.0, 32.0, 64.0}) {
+    m.push_back(4.0);
+    c.push_back(cc);
+    n.push_back(4.0 * cc);
+    y.push_back(2.0 * cc * cc);  // O(c^2)
+  }
+  EXPECT_EQ(classify_scaling(n, m, c, y), Complexity::kC2);
+}
+
+TEST(Complexity, ClassifyNoisyCurve) {
+  // Vary m and c independently so all the candidate shapes separate.
+  std::vector<double> n, m, c, y;
+  const double noise[] = {1.1, 0.92, 1.05, 0.97, 1.02, 0.95};
+  const double ms[] = {4.0, 8.0, 4.0, 8.0, 16.0, 4.0};
+  const double cs[] = {8.0, 8.0, 32.0, 32.0, 16.0, 64.0};
+  for (int i = 0; i < 6; ++i) {
+    m.push_back(ms[i]);
+    c.push_back(cs[i]);
+    n.push_back(ms[i] * cs[i]);
+    y.push_back(5.0 * cs[i] * noise[i]);  // noisy O(c)
+  }
+  EXPECT_EQ(classify_scaling(n, m, c, y), Complexity::kC);
+}
+
+TEST(Complexity, ClassifyErrors) {
+  EXPECT_THROW(classify_scaling({1.0}, {1.0}, {1.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(classify_scaling({1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cyc::analysis

@@ -1,0 +1,68 @@
+#include "analysis/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cyc::analysis {
+namespace {
+
+TEST(Epoch, BasicCompounding) {
+  EXPECT_NEAR(epoch_failure(0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(epoch_failure(0.5, 2), 0.75, 1e-12);
+  EXPECT_NEAR(epoch_failure(0.1, 10), 1.0 - std::pow(0.9, 10), 1e-12);
+}
+
+TEST(Epoch, Degenerate) {
+  EXPECT_EQ(epoch_failure(0.0, 1000), 0.0);
+  EXPECT_EQ(epoch_failure(1.0, 1), 1.0);
+}
+
+TEST(Epoch, TinyProbabilitiesExact) {
+  // 1e-9 per round over 1e6 rounds ~ 1e-3; naive (1-p)^R would lose
+  // precision.
+  EXPECT_NEAR(epoch_failure(1e-9, 1000000), 1e-3, 1e-6);
+}
+
+TEST(Epoch, RoundsToFailure) {
+  EXPECT_NEAR(rounds_to_failure(0.5, 0.5), 1.0, 1e-9);
+  // Median time-to-failure with p=1e-3 is ~693 rounds.
+  EXPECT_NEAR(rounds_to_failure(1e-3, 0.5), std::log(0.5) / std::log(0.999),
+              1e-6);
+  EXPECT_GT(rounds_to_failure(0.0, 0.5), 1e17);
+}
+
+TEST(Epoch, ElasticoCriticismReproduced) {
+  // §II-A: "when there are 16 shards, the failure probability is 97%
+  // over only 6 epochs" — Elastico's ~100-node committees under a 1/4
+  // adversary. With c=100, m=16: per-round m*e^{-c/40} ~ 1.31 (capped
+  // at 1), so 6 epochs are certain to fail; even a generous c=135
+  // reproduces the >97% figure.
+  ProtocolParamsView elastico_scale{1600, 16, 100, 0};
+  EXPECT_GT(elastico_epoch_failure(elastico_scale, 6), 0.97);
+
+  ProtocolParamsView generous{2160, 16, 135, 0};
+  EXPECT_GT(elastico_epoch_failure(generous, 6), 0.6);
+}
+
+TEST(Epoch, CycLedgerSurvivesYears) {
+  // At the paper's operating point, CycLedger's per-round failure
+  // 4.8e-4... is c=125-small; with c=240 (Fig. 5's spot value) the
+  // protocol runs ~millions of rounds to even odds.
+  ProtocolParamsView strong{2000, 8, 250, 40};
+  const double per_round = cycledger_round_failure(strong);
+  EXPECT_LT(per_round, 1e-7);
+  EXPECT_GT(rounds_to_failure(per_round, 0.5), 1e6);
+}
+
+TEST(Epoch, MonotoneInRounds) {
+  double prev = 0.0;
+  for (std::uint64_t rounds : {1u, 2u, 5u, 10u, 100u}) {
+    const double p = epoch_failure(0.01, rounds);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace cyc::analysis

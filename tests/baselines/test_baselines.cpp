@@ -1,0 +1,137 @@
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyc::baselines {
+namespace {
+
+BaselineParams paper_params() {
+  BaselineParams p;
+  p.n = 2000;
+  p.m = 16;
+  p.c = 125;
+  p.lambda = 40;
+  p.corrupt_leader_fraction = 1.0 / 3.0;
+  p.txs_per_committee = 100;
+  return p;
+}
+
+TEST(Baselines, ProfilesMatchTableI) {
+  const auto models = all_models(paper_params());
+  ASSERT_EQ(models.size(), 4u);
+
+  const auto elastico = models[0]->profile();
+  const auto omniledger = models[1]->profile();
+  const auto rapidchain = models[2]->profile();
+  const auto cycledger = models[3]->profile();
+
+  // Row 1: resiliency.
+  EXPECT_DOUBLE_EQ(elastico.resiliency, 0.25);
+  EXPECT_DOUBLE_EQ(omniledger.resiliency, 0.25);
+  EXPECT_NEAR(rapidchain.resiliency, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cycledger.resiliency, 1.0 / 3.0, 1e-12);
+
+  // Row 6: only CycLedger stays efficient under dishonest leaders.
+  EXPECT_FALSE(elastico.dishonest_leader_efficient);
+  EXPECT_FALSE(omniledger.dishonest_leader_efficient);
+  EXPECT_FALSE(rapidchain.dishonest_leader_efficient);
+  EXPECT_TRUE(cycledger.dishonest_leader_efficient);
+
+  // Row 7: only CycLedger has incentives.
+  EXPECT_TRUE(cycledger.has_incentives);
+  EXPECT_FALSE(rapidchain.has_incentives);
+
+  // Row 8: CycLedger's connection burden is light.
+  EXPECT_LT(cycledger.reliable_channels, rapidchain.reliable_channels);
+  EXPECT_LT(cycledger.reliable_channels, elastico.reliable_channels / 2);
+
+  // Row 5: decentralization strings.
+  EXPECT_EQ(omniledger.decentralization, "an honest client");
+  EXPECT_EQ(rapidchain.decentralization, "an honest reference committee");
+  EXPECT_EQ(cycledger.decentralization, "no always-honest party");
+}
+
+TEST(Baselines, DishonestLeaderThroughput) {
+  // The headline comparison: at 1/3 corrupt leaders, CycLedger commits
+  // everything; RapidChain/Elastico lose ~1/3.
+  auto params = paper_params();
+  rng::Stream rng(1);
+  RapidChainModel rapidchain(params);
+  CycLedgerModel cycledger(params);
+
+  std::size_t rc_total = 0, cyc_total = 0;
+  const std::size_t full = params.m * params.txs_per_committee;
+  for (int round = 0; round < 50; ++round) {
+    rc_total += rapidchain.simulate_round(rng).txs_committed;
+    cyc_total += cycledger.simulate_round(rng).txs_committed;
+  }
+  EXPECT_EQ(cyc_total, 50u * full);
+  EXPECT_LT(rc_total, 45u * full);
+  EXPECT_GT(rc_total, 25u * full);  // ~2/3 expected
+}
+
+TEST(Baselines, HonestLeadersEqualThroughput) {
+  auto params = paper_params();
+  params.corrupt_leader_fraction = 0.0;
+  rng::Stream rng(2);
+  for (auto& model : all_models(params)) {
+    const auto round = model->simulate_round(rng);
+    EXPECT_EQ(round.txs_committed, params.m * params.txs_per_committee)
+        << model->profile().name;
+    EXPECT_EQ(round.committees_stalled, 0u);
+  }
+}
+
+TEST(Baselines, OmniLedgerDependsOnTrustedClient) {
+  auto params = paper_params();
+  rng::Stream rng1(3), rng2(3);
+  OmniLedgerModel with_client(params, true);
+  OmniLedgerModel without_client(params, false);
+  std::size_t with_total = 0, without_total = 0;
+  double with_latency = 0;
+  for (int round = 0; round < 30; ++round) {
+    const auto a = with_client.simulate_round(rng1);
+    const auto b = without_client.simulate_round(rng2);
+    with_total += a.txs_committed;
+    without_total += b.txs_committed;
+    with_latency += a.latency;
+  }
+  EXPECT_GT(with_total, without_total);       // the client saves output...
+  EXPECT_GT(with_latency, 30.0);              // ...at a latency cost
+}
+
+TEST(Baselines, CycLedgerRecoveryCountsMatchBadLeaders) {
+  auto params = paper_params();
+  params.corrupt_leader_fraction = 0.5;
+  rng::Stream rng(4);
+  CycLedgerModel model(params);
+  std::size_t recoveries = 0;
+  for (int round = 0; round < 40; ++round) {
+    recoveries += model.simulate_round(rng).recoveries;
+  }
+  // E[bad leaders per round] = m/2 = 8.
+  EXPECT_NEAR(static_cast<double>(recoveries) / 40.0, 8.0, 2.0);
+}
+
+TEST(Baselines, FailureProbOrdering) {
+  const auto models = all_models(paper_params());
+  const double elastico = models[0]->profile().round_failure_prob;
+  const double rapidchain = models[2]->profile().round_failure_prob;
+  const double cycledger = models[3]->profile().round_failure_prob;
+  EXPECT_LT(rapidchain, elastico);
+  // CycLedger ~= RapidChain + negligible partial-set term.
+  EXPECT_NEAR(cycledger, rapidchain, rapidchain * 0.1 + 1e-8);
+}
+
+TEST(Baselines, LatencyDegradesGracefullyForCycLedger) {
+  auto params = paper_params();
+  params.corrupt_leader_fraction = 1.0;  // every leader corrupt
+  rng::Stream rng(5);
+  CycLedgerModel model(params);
+  const auto round = model.simulate_round(rng);
+  EXPECT_EQ(round.txs_committed, params.m * params.txs_per_committee);
+  EXPECT_LE(round.latency, 1.5);  // bounded recovery cost
+}
+
+}  // namespace
+}  // namespace cyc::baselines

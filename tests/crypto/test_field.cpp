@@ -1,0 +1,92 @@
+#include "crypto/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace cyc::crypto {
+namespace {
+
+TEST(Field, ParametersArePrime) {
+  EXPECT_TRUE(is_probable_prime(kP));
+  EXPECT_TRUE(is_probable_prime(kQ));
+  EXPECT_EQ(kP, 2 * kQ + 1);  // safe prime structure
+}
+
+TEST(Field, GeneratorHasOrderQ) {
+  EXPECT_TRUE(in_group(kG));
+  EXPECT_EQ(powmod(kG, kQ, kP), 1u);
+  EXPECT_NE(kG, 1u);
+}
+
+TEST(Field, MulmodMatchesSmallCases) {
+  EXPECT_EQ(mulmod(7, 9, 11), 63 % 11);
+  EXPECT_EQ(mulmod(0, 5, 7), 0u);
+  // Large operands that would overflow 64-bit multiplication.
+  const std::uint64_t a = kP - 1, b = kP - 2;
+  // (p-1)(p-2) mod p = (-1)(-2) mod p = 2
+  EXPECT_EQ(mulmod(a, b, kP), 2u);
+}
+
+TEST(Field, PowmodBasics) {
+  EXPECT_EQ(powmod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(powmod(5, 0, 7), 1u);
+  EXPECT_EQ(powmod(0, 5, 7), 0u);
+  // Fermat: a^(p-1) = 1 mod p for a != 0
+  EXPECT_EQ(powmod(123456789, kP - 1, kP), 1u);
+}
+
+TEST(Field, InverseModQ) {
+  rng::Stream rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = 1 + rng.below(kQ - 1);
+    EXPECT_EQ(mul_q(a, inv_mod_q(a)), 1u);
+  }
+}
+
+TEST(Field, ScalarArithmetic) {
+  EXPECT_EQ(add_q(kQ - 1, 1), 0u);
+  EXPECT_EQ(sub_q(0, 1), kQ - 1);
+  EXPECT_EQ(add_q(kQ - 1, kQ - 1), kQ - 2);
+  EXPECT_EQ(mul_q(2, kQ - 1), kQ - 2);  // 2(q-1) = 2q-2 = q-2 mod q
+  EXPECT_EQ(sub_q(5, 5), 0u);
+}
+
+TEST(Field, GroupClosure) {
+  rng::Stream rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t x = g_pow(rng.below(kQ));
+    const std::uint64_t y = g_pow(rng.below(kQ));
+    EXPECT_TRUE(in_group(x));
+    EXPECT_TRUE(in_group(gmul(x, y)));
+  }
+}
+
+TEST(Field, ExponentHomomorphism) {
+  rng::Stream rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t a = rng.below(kQ), b = rng.below(kQ);
+    EXPECT_EQ(gmul(g_pow(a), g_pow(b)), g_pow(add_q(a, b)));
+    EXPECT_EQ(gpow(g_pow(a), b), g_pow(mul_q(a, b)));
+  }
+}
+
+TEST(Field, InGroupRejectsNonMembers) {
+  EXPECT_FALSE(in_group(0));
+  EXPECT_FALSE(in_group(kP));       // out of range
+  EXPECT_FALSE(in_group(kP - 1));   // -1 has order 2, not in subgroup
+}
+
+TEST(Field, MillerRabinKnownValues) {
+  EXPECT_TRUE(is_probable_prime(2));
+  EXPECT_TRUE(is_probable_prime(3));
+  EXPECT_TRUE(is_probable_prime(1000000007));
+  EXPECT_FALSE(is_probable_prime(1));
+  EXPECT_FALSE(is_probable_prime(0));
+  EXPECT_FALSE(is_probable_prime(561));      // Carmichael number
+  EXPECT_FALSE(is_probable_prime(6601));     // Carmichael number
+  EXPECT_FALSE(is_probable_prime(1ull << 40));
+}
+
+}  // namespace
+}  // namespace cyc::crypto

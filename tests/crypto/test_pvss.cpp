@@ -1,0 +1,158 @@
+#include "crypto/pvss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cyc::crypto {
+namespace {
+
+TEST(Pvss, DealAndReconstruct) {
+  rng::Stream rng(1);
+  const std::uint64_t secret = 123456789;
+  const auto dealing = pvss_deal(secret, 9, 4, rng);
+  EXPECT_EQ(dealing.shares.size(), 9u);
+  EXPECT_EQ(dealing.commitments.size(), 5u);
+  const auto recovered = pvss_reconstruct(dealing.shares, 4);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, secret);
+}
+
+TEST(Pvss, ReconstructFromAnySubset) {
+  rng::Stream rng(2);
+  const std::uint64_t secret = 42;
+  const auto dealing = pvss_deal(secret, 7, 3, rng);
+  // Any 4 = t+1 shares suffice; try several subsets.
+  for (std::size_t start = 0; start + 4 <= 7; ++start) {
+    std::vector<PvssShare> subset(dealing.shares.begin() + start,
+                                  dealing.shares.begin() + start + 4);
+    const auto recovered = pvss_reconstruct(subset, 3);
+    ASSERT_TRUE(recovered.has_value()) << "start=" << start;
+    EXPECT_EQ(*recovered, secret);
+  }
+}
+
+TEST(Pvss, TooFewSharesFail) {
+  rng::Stream rng(3);
+  const auto dealing = pvss_deal(99, 7, 3, rng);
+  std::vector<PvssShare> subset(dealing.shares.begin(),
+                                dealing.shares.begin() + 3);
+  EXPECT_FALSE(pvss_reconstruct(subset, 3).has_value());
+}
+
+TEST(Pvss, DuplicateSharesDontCount) {
+  rng::Stream rng(4);
+  const auto dealing = pvss_deal(99, 7, 3, rng);
+  std::vector<PvssShare> dupes(4, dealing.shares[0]);
+  EXPECT_FALSE(pvss_reconstruct(dupes, 3).has_value());
+}
+
+TEST(Pvss, ShareVerification) {
+  rng::Stream rng(5);
+  const auto dealing = pvss_deal(7777, 10, 4, rng);
+  for (const auto& share : dealing.shares) {
+    EXPECT_TRUE(pvss_verify_share(dealing.commitments, share));
+  }
+}
+
+TEST(Pvss, CorruptedShareDetected) {
+  rng::Stream rng(6);
+  const auto dealing = pvss_deal(31337, 10, 4, rng);
+  for (const auto& share : dealing.shares) {
+    PvssShare bad = share;
+    bad.value = add_q(bad.value, 1);
+    EXPECT_FALSE(pvss_verify_share(dealing.commitments, bad));
+  }
+}
+
+TEST(Pvss, WrongIndexDetected) {
+  rng::Stream rng(7);
+  const auto dealing = pvss_deal(5, 6, 2, rng);
+  PvssShare bad = dealing.shares[0];
+  bad.index = dealing.shares[1].index;
+  EXPECT_FALSE(pvss_verify_share(dealing.commitments, bad));
+  bad.index = 0;
+  EXPECT_FALSE(pvss_verify_share(dealing.commitments, bad));
+}
+
+TEST(Pvss, CommittedSecretMatches) {
+  rng::Stream rng(8);
+  const std::uint64_t secret = 2024;
+  const auto dealing = pvss_deal(secret, 5, 2, rng);
+  EXPECT_EQ(pvss_committed_secret(dealing.commitments), g_pow(secret));
+}
+
+TEST(Pvss, InvalidParamsThrow) {
+  rng::Stream rng(9);
+  EXPECT_THROW(pvss_deal(1, 0, 0, rng), std::invalid_argument);
+  EXPECT_THROW(pvss_deal(1, 5, 5, rng), std::invalid_argument);
+  EXPECT_THROW(pvss_committed_secret({}), std::invalid_argument);
+}
+
+TEST(Beacon, DeterministicGivenSecrets) {
+  rng::Stream rng1(10), rng2(10);
+  const std::vector<std::uint64_t> secrets = {1, 2, 3, 4, 5};
+  const auto a = RandomnessBeacon::run(7, secrets, {}, rng1);
+  const auto b = RandomnessBeacon::run(7, secrets, {}, rng2);
+  EXPECT_EQ(a.randomness, b.randomness);
+  EXPECT_TRUE(a.disqualified.empty());
+}
+
+TEST(Beacon, RoundSeparation) {
+  rng::Stream rng1(11), rng2(11);
+  const std::vector<std::uint64_t> secrets = {9, 8, 7};
+  EXPECT_NE(RandomnessBeacon::run(1, secrets, {}, rng1).randomness,
+            RandomnessBeacon::run(2, secrets, {}, rng2).randomness);
+}
+
+TEST(Beacon, CheatersDisqualified) {
+  rng::Stream rng(12);
+  const std::vector<std::uint64_t> secrets = {11, 22, 33, 44, 55};
+  const auto result = RandomnessBeacon::run(3, secrets, {1, 3}, rng);
+  EXPECT_EQ(result.disqualified, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Beacon, OutputUnbiasedByCheaterRemoval) {
+  // Disqualifying a cheater changes the output (their contribution is
+  // dropped) but still produces a valid 32-byte randomness.
+  rng::Stream rng1(13), rng2(13);
+  const std::vector<std::uint64_t> secrets = {5, 6, 7};
+  const auto honest = RandomnessBeacon::run(4, secrets, {}, rng1);
+  const auto with_cheater = RandomnessBeacon::run(4, secrets, {0}, rng2);
+  EXPECT_NE(honest.randomness, with_cheater.randomness);
+}
+
+TEST(Beacon, NoDealersThrows) {
+  rng::Stream rng(14);
+  EXPECT_THROW(RandomnessBeacon::run(1, {}, {}, rng), std::invalid_argument);
+}
+
+// Property sweep over (participants, threshold).
+struct PvssParam {
+  std::size_t participants;
+  std::size_t threshold;
+};
+
+class PvssSweep : public ::testing::TestWithParam<PvssParam> {};
+
+TEST_P(PvssSweep, DealVerifyReconstruct) {
+  const auto [participants, t] = GetParam();
+  rng::Stream rng(100 + participants * 13 + t);
+  const std::uint64_t secret = rng.below(kQ);
+  const auto dealing = pvss_deal(secret, participants, t, rng);
+  for (const auto& share : dealing.shares) {
+    EXPECT_TRUE(pvss_verify_share(dealing.commitments, share));
+  }
+  const auto recovered = pvss_reconstruct(dealing.shares, t);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PvssSweep,
+                         ::testing::Values(PvssParam{3, 1}, PvssParam{5, 2},
+                                           PvssParam{7, 3}, PvssParam{9, 4},
+                                           PvssParam{15, 7}, PvssParam{21, 10},
+                                           PvssParam{4, 1}, PvssParam{12, 5}));
+
+}  // namespace
+}  // namespace cyc::crypto

@@ -1,0 +1,101 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cyc::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) { return to_hex(digest_to_bytes(d)); }
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes msg(1000000, 'a');
+  EXPECT_EQ(hex_of(sha256(msg)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog");
+  Sha256 ctx;
+  // Feed in awkward chunk sizes crossing block boundaries.
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 3, 7, 13, 19, 64, 100};
+  std::size_t ci = 0;
+  while (pos < msg.size()) {
+    const std::size_t take = std::min(chunks[ci++ % 7], msg.size() - pos);
+    ctx.update(BytesView(msg.data() + pos, take));
+    pos += take;
+  }
+  EXPECT_EQ(ctx.finalize(), sha256(msg));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // 55, 56, 63, 64, 65 bytes hit all padding branches.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    Bytes msg(len, 'x');
+    Sha256 ctx;
+    ctx.update(msg);
+    EXPECT_EQ(ctx.finalize(), sha256(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, Avalanche) {
+  Bytes a = bytes_of("message");
+  Bytes b = a;
+  b[0] ^= 1;
+  const Digest da = sha256(a), db = sha256(b);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    differing_bits += __builtin_popcount(da[i] ^ db[i]);
+  }
+  EXPECT_GT(differing_bits, 80);  // ~128 expected
+}
+
+TEST(Sha256, ConcatHelper) {
+  const Bytes a = bytes_of("ab");
+  const Bytes b = bytes_of("c");
+  EXPECT_EQ(sha256_concat({a, b}), sha256(bytes_of("abc")));
+}
+
+TEST(Sha256, PrefixU64) {
+  const Digest d = sha256(bytes_of("abc"));
+  // First 8 bytes of ba7816bf8f01cfea...
+  EXPECT_EQ(digest_prefix_u64(d), 0xba7816bf8f01cfeaull);
+}
+
+TEST(Sha256, DigestBytesRoundTrip) {
+  const Digest d = sha256(bytes_of("roundtrip"));
+  EXPECT_EQ(digest_from_bytes(digest_to_bytes(d)), d);
+}
+
+TEST(Sha256, DigestFromBytesWrongSizeThrows) {
+  EXPECT_THROW(digest_from_bytes(Bytes(31, 0)), std::invalid_argument);
+  EXPECT_THROW(digest_from_bytes(Bytes(33, 0)), std::invalid_argument);
+}
+
+TEST(Sha256, StringViewUpdate) {
+  Sha256 ctx;
+  ctx.update(std::string_view("abc"));
+  EXPECT_EQ(ctx.finalize(), sha256(bytes_of("abc")));
+}
+
+}  // namespace
+}  // namespace cyc::crypto

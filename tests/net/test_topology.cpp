@@ -1,0 +1,83 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyc::net {
+namespace {
+
+TopologyParams paper_scale() {
+  TopologyParams p;
+  p.m = 16;
+  p.c = 125;
+  p.n = p.m * p.c;
+  p.lambda = 40;
+  p.referees = 125;
+  return p;
+}
+
+TEST(Topology, CliqueFormula) {
+  TopologyParams p;
+  p.n = 10;
+  p.referees = 0;
+  EXPECT_EQ(clique_channels(p), 45u);
+  p.referees = 2;
+  EXPECT_EQ(clique_channels(p), 66u);
+}
+
+TEST(Topology, IntraCommitteeCount) {
+  TopologyParams p;
+  p.m = 3;
+  p.c = 4;
+  p.lambda = 1;
+  p.referees = 2;
+  const auto channels = cycledger_channels(p);
+  EXPECT_EQ(channels.intra_committee, 3u * 6u);  // 3 committees, C(4,2)
+  EXPECT_EQ(channels.referee_clique, 1u);
+}
+
+TEST(Topology, KeyMeshExcludesIntraCommitteePairs) {
+  TopologyParams p;
+  p.m = 2;
+  p.c = 10;
+  p.lambda = 2;
+  p.referees = 0;
+  const auto channels = cycledger_channels(p);
+  // 6 key members total: C(6,2)=15 minus 2 * C(3,2)=3 -> 9 cross pairs.
+  EXPECT_EQ(channels.key_mesh, 9u);
+}
+
+TEST(Topology, KeyToRefereeCount) {
+  TopologyParams p;
+  p.m = 2;
+  p.c = 5;
+  p.lambda = 1;
+  p.referees = 3;
+  EXPECT_EQ(cycledger_channels(p).key_to_referee, 2u * 2u * 3u);
+}
+
+TEST(Topology, HierarchyIsLighterThanClique) {
+  const auto p = paper_scale();
+  EXPECT_LT(cycledger_channels(p).total(), clique_channels(p));
+  // At the paper's scale (n=2000) the gap is at least 3x.
+  EXPECT_LT(3 * cycledger_channels(p).total(), clique_channels(p));
+}
+
+TEST(Topology, GapGrowsWithN) {
+  double prev_ratio = 0.0;
+  for (std::uint64_t m : {4u, 8u, 16u, 32u, 64u}) {
+    TopologyParams p;
+    p.m = m;
+    p.c = 100;
+    p.n = p.m * p.c;
+    p.lambda = 10;
+    p.referees = 100;
+    const double ratio =
+        static_cast<double>(clique_channels(p)) /
+        static_cast<double>(cycledger_channels(p).total());
+    EXPECT_GT(ratio, prev_ratio) << "m=" << m;
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace cyc::net

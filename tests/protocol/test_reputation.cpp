@@ -1,0 +1,172 @@
+#include "protocol/reputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace cyc::protocol {
+namespace {
+
+TEST(CosineScore, PerfectAgreement) {
+  const VoteVector decision = {Vote::kYes, Vote::kNo, Vote::kYes};
+  EXPECT_DOUBLE_EQ(cosine_score(decision, decision), 1.0);
+}
+
+TEST(CosineScore, PerfectDisagreement) {
+  const VoteVector decision = {Vote::kYes, Vote::kNo};
+  const VoteVector opposite = {Vote::kNo, Vote::kYes};
+  EXPECT_DOUBLE_EQ(cosine_score(opposite, decision), -1.0);
+}
+
+TEST(CosineScore, AllUnknownScoresZero) {
+  const VoteVector decision = {Vote::kYes, Vote::kNo};
+  const VoteVector unknown = {Vote::kUnknown, Vote::kUnknown};
+  EXPECT_DOUBLE_EQ(cosine_score(unknown, decision), 0.0);
+}
+
+TEST(CosineScore, PartialAgreement) {
+  // Vote agrees on 1 of 2 decided axes, unknown on the other:
+  // cos = 1 / (1 * sqrt(2)).
+  const VoteVector decision = {Vote::kYes, Vote::kYes};
+  const VoteVector vote = {Vote::kYes, Vote::kUnknown};
+  EXPECT_NEAR(cosine_score(vote, decision), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CosineScore, MixedExample) {
+  // Paper Eq. (1) on a concrete case: v=(1,-1,0), u=(1,1,1):
+  // dot=0, so score 0.
+  const VoteVector decision = {Vote::kYes, Vote::kYes, Vote::kYes};
+  const VoteVector vote = {Vote::kYes, Vote::kNo, Vote::kUnknown};
+  EXPECT_NEAR(cosine_score(vote, decision), 0.0, 1e-12);
+}
+
+TEST(CosineScore, RangeIsMinusOneToOne) {
+  const VoteVector decision = {Vote::kYes, Vote::kNo, Vote::kYes, Vote::kNo};
+  VoteVector vote(4, Vote::kUnknown);
+  for (int mask = 0; mask < 81; ++mask) {
+    int v = mask;
+    for (int i = 0; i < 4; ++i) {
+      vote[static_cast<std::size_t>(i)] = static_cast<Vote>(v % 3 - 1);
+      v /= 3;
+    }
+    const double s = cosine_score(vote, decision);
+    EXPECT_GE(s, -1.0 - 1e-12);
+    EXPECT_LE(s, 1.0 + 1e-12);
+  }
+}
+
+TEST(CosineScore, DimensionMismatchThrows) {
+  EXPECT_THROW(cosine_score({Vote::kYes}, {Vote::kYes, Vote::kNo}),
+               std::invalid_argument);
+}
+
+TEST(CosineScore, ScoreVotesBatch) {
+  const VoteVector decision = {Vote::kYes, Vote::kNo};
+  const std::vector<VoteVector> votes = {
+      {Vote::kYes, Vote::kNo},
+      {Vote::kNo, Vote::kYes},
+      {Vote::kUnknown, Vote::kUnknown},
+  };
+  const auto scores = score_votes(votes, decision);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores[1], -1.0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);
+}
+
+// --- g(x), Eq. (2) / Fig. 4 ---
+
+TEST(RewardMapping, PaperFormulaValues) {
+  EXPECT_DOUBLE_EQ(g(0.0), 1.0);           // g(0) = e^0 = 1
+  EXPECT_DOUBLE_EQ(g(-1.0), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(g(1.0), 1.0 + std::log(2.0));
+  EXPECT_DOUBLE_EQ(g(std::exp(1.0) - 1.0), 2.0);  // 1 + ln(e) = 2
+}
+
+TEST(RewardMapping, MonotoneIncreasing) {
+  double prev = -1e300;
+  for (double x = -10.0; x <= 10.0; x += 0.25) {
+    const double y = g(x);
+    EXPECT_GT(y, prev) << "x=" << x;
+    prev = y;
+  }
+}
+
+TEST(RewardMapping, ContinuousAtZero) {
+  EXPECT_NEAR(g(-1e-9), g(1e-9), 1e-8);
+}
+
+TEST(RewardMapping, NegativeMapsNearZero) {
+  // "the negative reputation is mapped to near zero" (§IV-G).
+  EXPECT_LT(g(-5.0), 0.01);
+  EXPECT_GT(g(-5.0), 0.0);
+}
+
+TEST(RewardMapping, ZeroStillEarnsALittle) {
+  // "nodes whose reputation is zero could still get little rewards".
+  EXPECT_GT(g(0.0), 0.0);
+}
+
+// --- reward distribution ---
+
+TEST(Rewards, ProportionalAndComplete) {
+  const std::vector<double> reps = {2.0, 0.0, -3.0};
+  const auto rewards = distribute_rewards(reps, 100.0);
+  ASSERT_EQ(rewards.size(), 3u);
+  const double total = std::accumulate(rewards.begin(), rewards.end(), 0.0);
+  EXPECT_NEAR(total, 100.0, 1e-9);  // sum equals the fee pool
+  EXPECT_GT(rewards[0], rewards[1]);
+  EXPECT_GT(rewards[1], rewards[2]);
+  // Ratios match g().
+  EXPECT_NEAR(rewards[0] / rewards[1], g(2.0) / g(0.0), 1e-9);
+}
+
+TEST(Rewards, WhoWorksMoreGetsMore) {
+  // Strictly monotone in reputation.
+  std::vector<double> reps;
+  for (int i = -5; i <= 5; ++i) reps.push_back(static_cast<double>(i));
+  const auto rewards = distribute_rewards(reps, 1.0);
+  for (std::size_t i = 1; i < rewards.size(); ++i) {
+    EXPECT_GT(rewards[i], rewards[i - 1]);
+  }
+}
+
+TEST(Rewards, EmptyAndZeroFee) {
+  EXPECT_TRUE(distribute_rewards({}, 10.0).empty());
+  const auto rewards = distribute_rewards({1.0, 2.0}, 0.0);
+  EXPECT_DOUBLE_EQ(rewards[0], 0.0);
+  EXPECT_DOUBLE_EQ(rewards[1], 0.0);
+}
+
+// --- leader punishment (§VII-B) ---
+
+TEST(Punishment, CubeRoot) {
+  EXPECT_DOUBLE_EQ(punish_leader(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(punish_leader(27.0), 3.0);
+  EXPECT_DOUBLE_EQ(punish_leader(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(punish_leader(0.0), 0.0);
+}
+
+TEST(Punishment, MappedValueDropsToRoughlyAThird) {
+  // "the mapped value ... will reduce to about one-third of the original
+  // mapped value" for large reputations: g(x^{1/3}) ~ g(x)/3.
+  for (double rep : {1000.0, 10000.0, 100000.0}) {
+    const double ratio = g(punish_leader(rep)) / g(rep);
+    EXPECT_GT(ratio, 0.25) << rep;
+    EXPECT_LT(ratio, 0.45) << rep;
+  }
+}
+
+TEST(Punishment, HigherReputationStrongerPunishment) {
+  // Absolute reputation loss grows with the starting reputation.
+  double prev_loss = 0.0;
+  for (double rep : {8.0, 27.0, 64.0, 125.0}) {
+    const double loss = rep - punish_leader(rep);
+    EXPECT_GT(loss, prev_loss);
+    prev_loss = loss;
+  }
+}
+
+}  // namespace
+}  // namespace cyc::protocol

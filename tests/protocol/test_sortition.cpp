@@ -1,0 +1,123 @@
+#include "protocol/sortition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cyc::protocol {
+namespace {
+
+crypto::Digest rand_of(std::uint64_t seed) {
+  return crypto::sha256(be64(seed));
+}
+
+TEST(Sortition, TicketVerifies) {
+  const auto keys = crypto::KeyPair::from_seed(1);
+  const auto randomness = rand_of(7);
+  const auto ticket = crypto_sort(keys, 3, randomness, 8);
+  EXPECT_LT(ticket.committee, 8u);
+  EXPECT_TRUE(verify_sortition(keys.pk, 3, randomness, 8, ticket));
+}
+
+TEST(Sortition, Deterministic) {
+  const auto keys = crypto::KeyPair::from_seed(2);
+  const auto randomness = rand_of(8);
+  const auto a = crypto_sort(keys, 1, randomness, 4);
+  const auto b = crypto_sort(keys, 1, randomness, 4);
+  EXPECT_EQ(a.committee, b.committee);
+  EXPECT_EQ(a.proof, b.proof);
+}
+
+TEST(Sortition, RoundChangesCommittee) {
+  const auto keys = crypto::KeyPair::from_seed(3);
+  const auto randomness = rand_of(9);
+  std::set<std::uint32_t> committees;
+  for (std::uint64_t r = 1; r <= 32; ++r) {
+    committees.insert(crypto_sort(keys, r, randomness, 16).committee);
+  }
+  EXPECT_GT(committees.size(), 8u);  // committee changes with round
+}
+
+TEST(Sortition, WrongRoundRejected) {
+  const auto keys = crypto::KeyPair::from_seed(4);
+  const auto randomness = rand_of(10);
+  const auto ticket = crypto_sort(keys, 1, randomness, 4);
+  EXPECT_FALSE(verify_sortition(keys.pk, 2, randomness, 4, ticket));
+}
+
+TEST(Sortition, WrongRandomnessRejected) {
+  const auto keys = crypto::KeyPair::from_seed(5);
+  const auto ticket = crypto_sort(keys, 1, rand_of(11), 4);
+  EXPECT_FALSE(verify_sortition(keys.pk, 1, rand_of(12), 4, ticket));
+}
+
+TEST(Sortition, WrongKeyRejected) {
+  const auto a = crypto::KeyPair::from_seed(6);
+  const auto b = crypto::KeyPair::from_seed(7);
+  const auto randomness = rand_of(13);
+  const auto ticket = crypto_sort(a, 1, randomness, 4);
+  EXPECT_FALSE(verify_sortition(b.pk, 1, randomness, 4, ticket));
+}
+
+TEST(Sortition, ForgedCommitteeIdRejected) {
+  const auto keys = crypto::KeyPair::from_seed(8);
+  const auto randomness = rand_of(14);
+  auto ticket = crypto_sort(keys, 1, randomness, 4);
+  ticket.committee = (ticket.committee + 1) % 4;
+  EXPECT_FALSE(verify_sortition(keys.pk, 1, randomness, 4, ticket));
+}
+
+TEST(Sortition, CommitteesRoughlyBalanced) {
+  const auto randomness = rand_of(15);
+  const std::uint32_t m = 4;
+  std::map<std::uint32_t, int> counts;
+  const int nodes = 400;
+  for (int i = 0; i < nodes; ++i) {
+    const auto keys = crypto::KeyPair::from_seed(1000 + i);
+    counts[crypto_sort(keys, 1, randomness, m).committee] += 1;
+  }
+  for (const auto& [committee, count] : counts) {
+    EXPECT_GT(count, 60) << "committee " << committee;
+    EXPECT_LT(count, 140) << "committee " << committee;
+  }
+}
+
+TEST(RoleSelection, DifficultyCalibration) {
+  // With difficulty for "want of population", about `want` nodes win.
+  const auto randomness = rand_of(16);
+  const std::uint64_t population = 1000, want = 100;
+  const std::uint64_t d = role_difficulty(population, want);
+  std::uint64_t winners = 0;
+  for (std::uint64_t i = 0; i < population; ++i) {
+    const auto keys = crypto::KeyPair::from_seed(5000 + i);
+    if (wins_role(2, randomness, keys.pk, kRoleReferee, d)) ++winners;
+  }
+  EXPECT_GT(winners, want / 2);
+  EXPECT_LT(winners, want * 2);
+}
+
+TEST(RoleSelection, DifficultyEdgeCases) {
+  EXPECT_EQ(role_difficulty(0, 5), 0u);
+  EXPECT_EQ(role_difficulty(10, 10), ~0ull);
+  EXPECT_EQ(role_difficulty(10, 20), ~0ull);
+}
+
+TEST(RoleSelection, RolesAreIndependent) {
+  // Winning the referee lottery says nothing about the partial lottery.
+  const auto randomness = rand_of(17);
+  const auto keys = crypto::KeyPair::from_seed(9999);
+  const std::uint64_t hr = role_hash(2, randomness, keys.pk, kRoleReferee);
+  const std::uint64_t hp = role_hash(2, randomness, keys.pk, kRolePartial);
+  EXPECT_NE(hr, hp);
+}
+
+TEST(RoleSelection, PartialCommitteePlacementStable) {
+  const auto randomness = rand_of(18);
+  const auto keys = crypto::KeyPair::from_seed(4242);
+  EXPECT_EQ(partial_committee(2, randomness, keys.pk, 8),
+            partial_committee(2, randomness, keys.pk, 8));
+  EXPECT_LT(partial_committee(2, randomness, keys.pk, 8), 8u);
+}
+
+}  // namespace
+}  // namespace cyc::protocol

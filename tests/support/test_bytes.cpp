@@ -1,0 +1,77 @@
+#include "support/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyc {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("AB"), Bytes{0xab});
+  EXPECT_EQ(from_hex("aB"), Bytes{0xab});
+}
+
+TEST(Bytes, HexOddLengthThrows) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexNonHexThrows) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, BytesOf) {
+  const Bytes b = bytes_of("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(Bytes, AppendAndConcat) {
+  Bytes a = {1, 2};
+  append(a, Bytes{3, 4});
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4}));
+
+  const Bytes x = {9};
+  const Bytes y = {8, 7};
+  EXPECT_EQ(concat({x, y, x}), (Bytes{9, 8, 7, 9}));
+}
+
+TEST(Bytes, Be64RoundTrip) {
+  const std::uint64_t v = 0x0123456789abcdefull;
+  const Bytes enc = be64(v);
+  ASSERT_EQ(enc.size(), 8u);
+  EXPECT_EQ(enc[0], 0x01);
+  EXPECT_EQ(enc[7], 0xef);
+  EXPECT_EQ(read_be64(enc), v);
+}
+
+TEST(Bytes, Be64Boundaries) {
+  EXPECT_EQ(read_be64(be64(0)), 0u);
+  EXPECT_EQ(read_be64(be64(~0ull)), ~0ull);
+}
+
+TEST(Bytes, ReadBe64Truncated) {
+  const Bytes short_buf(7, 0);
+  EXPECT_THROW(read_be64(short_buf), std::invalid_argument);
+}
+
+TEST(Bytes, Equal) {
+  EXPECT_TRUE(equal(Bytes{1, 2}, Bytes{1, 2}));
+  EXPECT_FALSE(equal(Bytes{1, 2}, Bytes{1, 3}));
+  EXPECT_FALSE(equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(equal(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace cyc

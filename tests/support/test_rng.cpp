@@ -1,0 +1,135 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cyc::rng {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Stream a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Stream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkByNameIndependentOfConsumption) {
+  Stream parent1(7), parent2(7);
+  parent2.next();  // consume some of parent2
+  Stream c1 = parent1.fork("child");
+  Stream c2 = parent2.fork("child");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, ForkNamesIndependent) {
+  Stream parent(7);
+  Stream a = parent.fork("a");
+  Stream b = parent.fork("b");
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, ForkIndexDistinct) {
+  Stream parent(9);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    firsts.insert(parent.fork(i).next());
+  }
+  EXPECT_EQ(firsts.size(), 100u);
+}
+
+TEST(Rng, BelowInRange) {
+  Stream s(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(s.below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Stream s(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(s.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Stream s(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = s.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Stream s(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = s.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Stream s(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.chance(0.0));
+    EXPECT_TRUE(s.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Stream s(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (s.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Stream s(23);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  shuffle(v, s);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleChangesOrder) {
+  Stream s(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto orig = v;
+  shuffle(v, s);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, Splitmix64KnownValue) {
+  // Reference value from the splitmix64 reference implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t v = splitmix64(state);
+  EXPECT_EQ(v, 0xe220a8397b1dcdafull);
+}
+
+}  // namespace
+}  // namespace cyc::rng
