@@ -1,0 +1,79 @@
+// Shared helpers for the macro benchmarks: per-point instrumentation
+// (wall-clock + payload-allocation accounting) and the BENCH_*.json
+// artifact convention.
+//
+// Artifact contract: every ported bench writes
+//   bench/out/BENCH_<name>.json   (or the path given as argv[1])
+// with its parameters and per-sweep-point metrics, so successive PRs can
+// diff performance on identical protocol numbers (committed/round and
+// msgs/node are deterministic per seed; wall-clock and allocation counts
+// are the perf trajectory).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "net/message.hpp"
+#include "support/json.hpp"
+
+namespace cyc::bench {
+
+/// Wall-clock + thread-local payload-allocation deltas around one sweep
+/// point. Construct inside the sweep job (on the worker thread that runs
+/// the Engine) so the thread-local counters attribute correctly.
+class PointProbe {
+ public:
+  PointProbe()
+      : start_(std::chrono::steady_clock::now()),
+        allocs0_(net::payload_allocations()),
+        bytes0_(net::payload_bytes_allocated()) {}
+
+  double wall_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  std::uint64_t payload_allocs() const {
+    return net::payload_allocations() - allocs0_;
+  }
+  std::uint64_t payload_bytes() const {
+    return net::payload_bytes_allocated() - bytes0_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t allocs0_;
+  std::uint64_t bytes0_;
+};
+
+/// Write the artifact. `name` is the bench name without the BENCH_ prefix
+/// (e.g. "throughput_scalability"); argv[1], when present, overrides the
+/// output path entirely.
+inline void write_artifact(const std::string& name,
+                           const support::JsonWriter& json, int argc,
+                           char** argv) {
+  std::filesystem::path path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = std::filesystem::path("bench") / "out" / ("BENCH_" + name + ".json");
+  }
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "\nerror: cannot write artifact to '%s'\n",
+                 path.string().c_str());
+    return;
+  }
+  out << json.str() << "\n";
+  std::printf("\nartifact: %s\n", path.string().c_str());
+}
+
+}  // namespace cyc::bench

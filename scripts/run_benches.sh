@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build Release and run the JSON macro-benchmarks.
+#
+# Writes two copies of each artifact:
+#   bench/out/BENCH_<name>.json   (working copy, gitignored territory)
+#   ./BENCH_<name>.json           (repo root, the tracked perf trajectory)
+#
+# Usage: scripts/run_benches.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+  bench_throughput_scalability bench_crossshard bench_table2_complexity
+
+mkdir -p bench/out
+for name in throughput_scalability crossshard table2_complexity; do
+  echo "=== bench_${name} ==="
+  "$BUILD_DIR/bench_${name}" "bench/out/BENCH_${name}.json"
+  cp "bench/out/BENCH_${name}.json" "BENCH_${name}.json"
+done
+
+echo
+echo "Artifacts:"
+ls -l BENCH_*.json

@@ -143,15 +143,14 @@ bool QuorumCert::verify(const std::vector<crypto::PublicKey>& committee,
   std::set<std::uint64_t> committee_keys;
   for (const auto& pk : committee) committee_keys.insert(pk.y);
 
+  // Structural pass: membership, payload binding and distinctness. The
+  // (expensive) signature checks run afterwards as one batch.
   std::set<std::uint64_t> signers;
+  std::vector<const crypto::SignedMessage*> to_verify;
+  to_verify.reserve(confirms.size());
   for (const auto& sm : confirms) {
     if (!committee_keys.contains(sm.signer.y)) return false;
-    if (!sm.valid()) return false;
     // The signed payload must be the CONFIRM body for our (id, digest).
-    Confirm expected;
-    expected.id = id;
-    expected.digest = digest;
-    // Recover the member index from the payload by re-parsing.
     Reader rd(sm.payload);
     const std::string tag = rd.str();
     if (tag != "CONFIRM") return false;
@@ -162,8 +161,10 @@ bool QuorumCert::verify(const std::vector<crypto::PublicKey>& committee,
     const crypto::Digest got_digest = crypto::digest_from_bytes(rd.bytes());
     if (got_digest != digest) return false;
     if (!signers.insert(sm.signer.y).second) return false;  // duplicate
+    to_verify.push_back(&sm);
   }
-  return signers.size() * 2 > committee_size;
+  if (signers.size() * 2 <= committee_size) return false;
+  return crypto::verify_batch(to_verify);
 }
 
 // --- EquivocationWitness ----------------------------------------------------

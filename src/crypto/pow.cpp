@@ -3,14 +3,25 @@
 namespace cyc::crypto {
 
 namespace {
-Digest puzzle_hash(BytesView challenge, std::uint64_t nonce) {
-  return sha256_concat({bytes_of("cyc.pow"), challenge, be64(nonce)});
+// Midstate with the fixed prefix ("cyc.pow" || challenge) absorbed; each
+// attempt clones it and appends only the nonce. The byte stream — and so
+// every digest — is identical to hashing the concatenation in one go.
+Sha256 puzzle_prefix(BytesView challenge) {
+  Sha256 ctx;
+  ctx.update("cyc.pow");
+  ctx.update(challenge);
+  return ctx;
+}
+
+Digest puzzle_hash(const Sha256& prefix, std::uint64_t nonce) {
+  Sha256 ctx = prefix;
+  return ctx.update_u64(nonce).finalize();
 }
 }  // namespace
 
 bool pow_verify(BytesView challenge, std::uint64_t target,
                 const PowSolution& solution) {
-  const Digest d = puzzle_hash(challenge, solution.nonce);
+  const Digest d = puzzle_hash(puzzle_prefix(challenge), solution.nonce);
   if (d != solution.digest) return false;
   return digest_prefix_u64(d) < target;
 }
@@ -18,9 +29,10 @@ bool pow_verify(BytesView challenge, std::uint64_t target,
 std::optional<PowSolution> pow_solve(BytesView challenge, std::uint64_t target,
                                      std::uint64_t start,
                                      std::uint64_t max_iters) {
+  const Sha256 prefix = puzzle_prefix(challenge);
   for (std::uint64_t i = 0; i < max_iters; ++i) {
     const std::uint64_t nonce = start + i;
-    const Digest d = puzzle_hash(challenge, nonce);
+    const Digest d = puzzle_hash(prefix, nonce);
     if (digest_prefix_u64(d) < target) {
       return PowSolution{nonce, d};
     }

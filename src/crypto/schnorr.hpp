@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "crypto/field.hpp"
 #include "crypto/sha256.hpp"
@@ -55,7 +56,31 @@ struct Signature {
 Signature sign(const SecretKey& sk, BytesView msg);
 
 /// Verify: g^s == R * y^e (mod p) with e = H(R || y || msg) mod q.
+/// Always performs the full check (no memoization) — `verify_cached` /
+/// `SignedMessage::valid` are the cached entry points.
 bool verify(const PublicKey& pk, BytesView msg, const Signature& sig);
+
+/// Memoized verification for raw (pk, msg, sig) triples — the same
+/// verdict cache that backs SignedMessage::valid. Transaction signature
+/// checks go through here: every committee member judges the same
+/// transactions, so each distinct signature is verified once per thread.
+bool verify_cached(const PublicKey& pk, BytesView msg, const Signature& sig);
+
+/// Thread-local memoization of verification verdicts, keyed on a digest
+/// of the full (signer, payload, signature) content. The same signed
+/// object is typically verified by every simulated node that receives it
+/// (relayed PROPOSEs inside echoes, confirm lists inside certificates,
+/// semi-commitments fanned out to referees and partial sets); the cache
+/// collapses those repeats into one Schnorr verification per distinct
+/// content. Verdicts are pure functions of content, so caching cannot
+/// change any protocol outcome, and mutating a message changes its key,
+/// so stale verdicts are unreachable.
+namespace verify_cache {
+std::uint64_t hits();
+std::uint64_t misses();
+/// Drop all entries and zero the counters (tests and long sweeps).
+void clear();
+}  // namespace verify_cache
 
 /// A (signer, payload, signature) triple — the `SIG_i <...>` objects that
 /// appear throughout Algorithms 3–6. `payload` is the canonical serde
@@ -65,7 +90,11 @@ struct SignedMessage {
   Bytes payload;
   Signature sig;
 
-  bool valid() const { return verify(signer, payload, sig); }
+  /// Memoized verification (see verify_cache above).
+  bool valid() const;
+
+  /// Content fingerprint used as the cache key.
+  std::uint64_t fingerprint() const;
 
   Bytes serialize() const;
   static SignedMessage deserialize(BytesView b);
@@ -74,5 +103,16 @@ struct SignedMessage {
 
 /// Convenience: build a SignedMessage over `payload`.
 SignedMessage make_signed(const KeyPair& keys, BytesView payload);
+
+/// Batch verification: true iff every message verifies. Uses the
+/// small-exponent batching trick — one shared g^S exponentiation plus a
+/// short (32-bit) R_i^{z_i} per signature instead of two full-width
+/// exponentiations each — and consults / populates the verification
+/// cache. When the aggregate check fails the messages are re-verified
+/// individually so the cache still ends up with per-message verdicts.
+/// The coefficients mix the message contents with a per-process random
+/// salt, so signature errors cannot be crafted to cancel in the
+/// aggregate.
+bool verify_batch(const std::vector<const SignedMessage*>& msgs);
 
 }  // namespace cyc::crypto

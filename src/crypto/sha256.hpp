@@ -15,12 +15,21 @@ namespace cyc::crypto {
 using Digest = std::array<std::uint8_t, 32>;
 
 /// Incremental SHA-256 context.
+///
+/// Contexts are cheap to copy, which enables midstate reuse: hash a fixed
+/// prefix once, then clone the context for every suffix (the PoW solver
+/// leans on this — its 64-byte per-node prefix costs one compression
+/// total instead of one per nonce attempt).
 class Sha256 {
  public:
   Sha256();
 
   Sha256& update(BytesView data);
   Sha256& update(std::string_view s);
+
+  /// Append the big-endian encoding of `v` (identical bytes to be64(v))
+  /// without a heap allocation.
+  Sha256& update_u64(std::uint64_t v);
 
   /// Finalize and return the digest. The context must not be reused
   /// afterwards (construct a fresh one).

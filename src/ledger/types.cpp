@@ -86,7 +86,7 @@ void sign_tx(Transaction& tx, const crypto::SecretKey& sk) {
 }
 
 bool check_tx_signature(const Transaction& tx) {
-  return crypto::verify(tx.spender, tx.body_bytes(), tx.sig);
+  return crypto::verify_cached(tx.spender, tx.body_bytes(), tx.sig);
 }
 
 }  // namespace cyc::ledger

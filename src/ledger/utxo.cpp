@@ -12,13 +12,39 @@ std::optional<TxOut> UtxoStore::get(const OutPoint& op) const {
   return it->second;
 }
 
+crypto::Digest UtxoStore::entry_digest(const OutPoint& op, const TxOut& out) {
+  crypto::Sha256 ctx;
+  ctx.update("cyc.utxo.entry");
+  ctx.update(BytesView(op.tx.data(), op.tx.size()));
+  ctx.update_u64(op.index);
+  ctx.update_u64(out.owner.y);
+  ctx.update_u64(out.amount);
+  return ctx.finalize();
+}
+
+void UtxoStore::fold(const crypto::Digest& d) {
+  for (std::size_t i = 0; i < acc_.size(); ++i) acc_[i] ^= d[i];
+}
+
 bool UtxoStore::add(const OutPoint& op, const TxOut& out) {
   if (shard_of(out.owner, m_) != shard_) return false;
-  utxos_[op] = out;
+  auto [it, inserted] = utxos_.try_emplace(op, out);
+  if (!inserted) {
+    if (it->second == out) return true;  // identical re-insert: no-op
+    fold(entry_digest(op, it->second));  // un-fold the replaced entry
+    it->second = out;
+  }
+  fold(entry_digest(op, out));
   return true;
 }
 
-bool UtxoStore::spend(const OutPoint& op) { return utxos_.erase(op) > 0; }
+bool UtxoStore::spend(const OutPoint& op) {
+  auto it = utxos_.find(op);
+  if (it == utxos_.end()) return false;
+  fold(entry_digest(op, it->second));  // XOR is self-inverse: removes it
+  utxos_.erase(it);
+  return true;
+}
 
 void UtxoStore::apply(const Transaction& tx) {
   if (shard_of(tx.spender, m_) == shard_) {
@@ -44,16 +70,27 @@ std::vector<OutPoint> UtxoStore::outpoints() const {
   return ops;
 }
 
+namespace {
+crypto::Digest finish_digest(const crypto::Digest& acc, std::size_t size) {
+  crypto::Sha256 ctx;
+  ctx.update("cyc.utxo.set");
+  ctx.update(BytesView(acc.data(), acc.size()));
+  ctx.update_u64(size);
+  return ctx.finalize();
+}
+}  // namespace
+
 crypto::Digest UtxoStore::digest() const {
-  Writer w;
-  for (const auto& op : outpoints()) {
-    w.bytes(crypto::digest_to_bytes(op.tx));
-    w.u32(op.index);
-    const auto out = get(op);
-    w.u64(out->owner.y);
-    w.u64(out->amount);
+  return finish_digest(acc_, utxos_.size());
+}
+
+crypto::Digest UtxoStore::full_digest() const {
+  crypto::Digest acc{};
+  for (const auto& [op, out] : utxos_) {
+    const crypto::Digest d = entry_digest(op, out);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= d[i];
   }
-  return crypto::sha256(w.out());
+  return finish_digest(acc, utxos_.size());
 }
 
 }  // namespace cyc::ledger

@@ -3,6 +3,14 @@
 // Each committee maintains the UTXO set of the shard it is responsible
 // for (§III-D); after a block is released, members delete spent outputs
 // and append the newly created outputs belonging to their shard (§IV-G).
+//
+// The store keeps a *rolling* content digest: an XOR-combined multiset
+// hash over per-entry digests, folded into the final digest together
+// with the entry count. XOR is commutative and self-inverse, so add /
+// spend update the accumulator in O(1) and the digest is independent of
+// insertion order — exactly the set semantics the end-of-round UTXO list
+// consensus needs. `full_digest()` recomputes the same value from
+// scratch and stays as the debug cross-check.
 #pragma once
 
 #include <cstdint>
@@ -44,13 +52,23 @@ class UtxoStore {
   std::vector<OutPoint> outpoints() const;
 
   /// Digest of the full store content — used for the end-of-round UTXO
-  /// list consensus (§IV-G hand-off to the next partial set).
+  /// list consensus (§IV-G hand-off to the next partial set). O(1): reads
+  /// the incrementally maintained accumulator.
   crypto::Digest digest() const;
 
+  /// Recompute the digest from scratch (O(n)) — debug cross-check for the
+  /// incremental accumulator; tests assert full_digest() == digest().
+  crypto::Digest full_digest() const;
+
  private:
+  /// Per-entry digest folded into the accumulator.
+  static crypto::Digest entry_digest(const OutPoint& op, const TxOut& out);
+  void fold(const crypto::Digest& d);  // XOR into the accumulator
+
   ShardId shard_ = 0;
   std::uint32_t m_ = 1;
   std::unordered_map<OutPoint, TxOut, OutPointHash> utxos_;
+  crypto::Digest acc_{};  ///< XOR of entry digests of the current content
 };
 
 }  // namespace cyc::ledger

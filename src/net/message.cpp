@@ -2,6 +2,29 @@
 
 namespace cyc::net {
 
+namespace {
+thread_local std::uint64_t t_payload_allocs = 0;
+thread_local std::uint64_t t_payload_bytes = 0;
+const Bytes kEmptyPayload;
+}  // namespace
+
+PayloadPtr make_payload(Bytes b) {
+  ++t_payload_allocs;
+  t_payload_bytes += b.size();
+  return std::make_shared<const Bytes>(std::move(b));
+}
+
+std::uint64_t payload_allocations() { return t_payload_allocs; }
+std::uint64_t payload_bytes_allocated() { return t_payload_bytes; }
+void reset_payload_counters() {
+  t_payload_allocs = 0;
+  t_payload_bytes = 0;
+}
+
+const Bytes& Message::payload() const {
+  return body ? *body : kEmptyPayload;
+}
+
 std::string_view tag_name(Tag tag) {
   switch (tag) {
     case Tag::kConfig: return "CONFIG";

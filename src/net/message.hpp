@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "support/bytes.hpp"
@@ -62,14 +63,35 @@ enum class Tag : std::uint16_t {
 
 std::string_view tag_name(Tag tag);
 
+/// Shared, immutable payload buffer. A logical broadcast materialises its
+/// payload once and every queued copy / delivered Message aliases the same
+/// buffer — the simulator and all receivers treat payloads as read-only.
+using PayloadPtr = std::shared_ptr<const Bytes>;
+
+/// Wrap a byte string into a shared payload buffer. This is the single
+/// choke point where payload memory is allocated; the counters below make
+/// the zero-copy invariant ("one allocation per logical broadcast")
+/// testable. Counters are thread-local so concurrent sweep workers (one
+/// Engine per thread) account independently.
+PayloadPtr make_payload(Bytes b);
+
+/// Payload buffers allocated on this thread since start / last reset.
+std::uint64_t payload_allocations();
+/// Total payload bytes allocated on this thread since start / last reset.
+std::uint64_t payload_bytes_allocated();
+void reset_payload_counters();
+
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
   Tag tag = Tag::kConfig;
-  Bytes payload;
+  PayloadPtr body;  ///< shared with every other copy of this broadcast
+
+  /// Read-only view of the payload (empty if no body was attached).
+  const Bytes& payload() const;
 
   /// Wire size used for byte accounting: payload plus a fixed header.
-  std::size_t wire_size() const { return payload.size() + 16; }
+  std::size_t wire_size() const { return payload().size() + 16; }
 };
 
 }  // namespace cyc::net

@@ -38,6 +38,10 @@ Time SimNet::link_delay(NodeId from, NodeId to) {
 }
 
 void SimNet::send(NodeId from, NodeId to, Tag tag, Bytes payload) {
+  send_shared(from, to, tag, make_payload(std::move(payload)));
+}
+
+void SimNet::send_shared(NodeId from, NodeId to, Tag tag, PayloadPtr payload) {
   if (to >= handlers_.size()) {
     throw std::out_of_range("SimNet::send: unknown receiver");
   }
@@ -58,10 +62,15 @@ void SimNet::send(NodeId from, NodeId to, Tag tag, Bytes payload) {
 }
 
 void SimNet::multicast(NodeId from, const std::vector<NodeId>& to, Tag tag,
-                       const Bytes& payload) {
+                       Bytes payload) {
+  multicast_shared(from, to, tag, make_payload(std::move(payload)));
+}
+
+void SimNet::multicast_shared(NodeId from, const std::vector<NodeId>& to,
+                              Tag tag, const PayloadPtr& payload) {
   for (NodeId receiver : to) {
     if (receiver == from) continue;
-    send(from, receiver, tag, payload);
+    send_shared(from, receiver, tag, payload);
   }
 }
 
@@ -78,7 +87,9 @@ void SimNet::schedule(Time when, std::function<void(Time)> fn) {
 Time SimNet::run(Time deadline) {
   while (!queue_.empty()) {
     if (queue_.top().when > deadline) break;
-    Event ev = queue_.top();
+    // Move the top event out before popping; popping invalidates the
+    // reference but never reads the moved-from element's contents.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.when;
     if (ev.is_timer) {

@@ -64,10 +64,21 @@ class SimNet {
   /// there, which is the point of the "Burden on Connection" row.
   void send(NodeId from, NodeId to, Tag tag, Bytes payload);
 
+  /// Zero-copy send: the queued event and the delivered Message alias
+  /// `payload`. Callers that fan one payload out to several receivers
+  /// (outside of multicast) wrap it once with make_payload and reuse it.
+  void send_shared(NodeId from, NodeId to, Tag tag, PayloadPtr payload);
+
   /// Send to many receivers (the BROADCAST of the pseudocode — multicast
-  /// to known members, each counted individually).
+  /// to known members, each counted individually). The payload is
+  /// materialised exactly once per logical broadcast; every receiver's
+  /// Message aliases the same immutable buffer.
   void multicast(NodeId from, const std::vector<NodeId>& to, Tag tag,
-                 const Bytes& payload);
+                 Bytes payload);
+
+  /// Zero-copy multicast over an already-shared payload (no allocation).
+  void multicast_shared(NodeId from, const std::vector<NodeId>& to, Tag tag,
+                        const PayloadPtr& payload);
 
   /// Schedule a local timer callback for `node` at absolute time `when`.
   void schedule(Time when, std::function<void(Time)> fn);

@@ -212,6 +212,8 @@ void Engine::start_round_state() {
     n.known_pks.clear();
     n.votes.clear();
     n.cross_votes.clear();
+    n.pending_votes.clear();
+    n.pending_cross_votes.clear();
     n.intra_decision.clear();
     n.cross_decision.clear();
     n.sent_intra_result = false;
@@ -533,10 +535,11 @@ void Engine::compute_selection() {
     (void)id;
     dealer_secrets.push_back(beacon_rng.below(crypto::kQ));
   }
+  const auto share_payload = net::make_payload(Bytes(24, 0));
   for (net::NodeId a : assign_.referees) {
     for (net::NodeId b : assign_.referees) {
       if (a == b) continue;
-      net_->send(a, b, net::Tag::kBeaconShare, Bytes(24, 0));
+      net_->send_shared(a, b, net::Tag::kBeaconShare, share_payload);
     }
   }
   const auto beacon =

@@ -135,6 +135,14 @@ class Engine {
     // voting
     std::map<net::NodeId, VoteVector> votes;        // leader: intra votes
     std::map<net::NodeId, VoteVector> cross_votes;  // leader: cross votes
+    // Signed votes parked on arrival; their signatures are checked in one
+    // schnorr::verify_batch at the tally deadline instead of one at a
+    // time. All arrivals per voter are kept (not just the newest) so a
+    // forged message claiming a voter's key cannot displace that voter's
+    // genuine vote — at flush the last *valid* arrival wins, which is
+    // exactly what per-arrival verification used to produce.
+    std::map<net::NodeId, std::vector<crypto::SignedMessage>> pending_votes;
+    std::map<net::NodeId, std::vector<crypto::SignedMessage>> pending_cross_votes;
     VoteVector intra_decision;                      // leader: tally result
     VoteVector cross_decision;
     bool sent_intra_result = false;
@@ -256,6 +264,10 @@ class Engine {
   /// Leader-side: tally votes into the decision vector / TXdecSET.
   VoteVector tally(const std::map<net::NodeId, VoteVector>& votes,
                    std::size_t dimension, std::size_t committee_size) const;
+
+  /// Batch-verify the parked votes and move the valid ones into the
+  /// decoded vote sink (votes / cross_votes).
+  void leader_flush_votes(NodeState& leader, bool cross);
 
   /// Recovery.
   void begin_accusation(NodeState& accuser, std::uint32_t k,

@@ -64,9 +64,9 @@ void Engine::phase_config(net::Time at) {
       common.known_pks.insert(common.keys.pk.y);
       common.member_list.push_back(common.keys.pk);
       wire::Intro intro{common.id, common.keys.pk, common.ticket};
-      const Bytes payload = intro.serialize();
+      const auto payload = net::make_payload(intro.serialize());
       for (net::NodeId km : assign_.committees[k].key_members()) {
-        net_->send(common.id, km, net::Tag::kConfig, payload);
+        net_->send_shared(common.id, km, net::Tag::kConfig, payload);
       }
     }
   }
@@ -151,9 +151,9 @@ void Engine::phase_selection(net::Time at) {
     const auto solution = crypto::pow_solve(per_node, target, 0, 1u << 20);
     if (!solution) continue;
     wire::PowMsg msg{n.id, n.keys.pk, solution->nonce, solution->digest};
-    const Bytes payload = msg.serialize();
+    const auto payload = net::make_payload(msg.serialize());
     for (net::NodeId rm : assign_.referees) {
-      net_->send(n.id, rm, net::Tag::kPowSolution, payload);
+      net_->send_shared(n.id, rm, net::Tag::kPowSolution, payload);
     }
   }
   const net::Time when =
@@ -239,7 +239,7 @@ void Engine::handle(net::NodeId id, const net::Message& msg, net::Time now) {
       case net::Tag::kNewLeader: on_new_leader(self, msg, now); break;
       case net::Tag::kPowSolution: {
         if (self.role != Role::kReferee) break;
-        const auto pow = wire::PowMsg::deserialize(msg.payload);
+        const auto pow = wire::PowMsg::deserialize(msg.payload());
         const Bytes challenge =
             concat({bytes_of("cyc.round"), be64(round_),
                     crypto::digest_to_bytes(randomness_), be64(pow.pk.y)});
@@ -253,7 +253,7 @@ void Engine::handle(net::NodeId id, const net::Message& msg, net::Time now) {
       case net::Tag::kBlock: {
         // Members refresh their shard view from the released block.
         if (self.committee >= 0) {
-          const auto block = wire::BlockMsg::deserialize(msg.payload);
+          const auto block = wire::BlockMsg::deserialize(msg.payload());
           for (const auto& tx : block.txs) self.utxo.apply(tx);
         }
         break;
@@ -270,16 +270,16 @@ void Engine::handle(net::NodeId id, const net::Message& msg, net::Time now) {
         sub.round = round_;
         sub.txs = decision.txdec_set;
         sub.randomness = next_randomness_;
-        const Bytes payload = sub.serialize();
+        const auto payload = net::make_payload(sub.serialize());
         for (const auto& n : nodes_) {
           if (n.id == self.id) continue;
-          net_->send(self.id, n.id, net::Tag::kSubBlock, payload);
+          net_->send_shared(self.id, n.id, net::Tag::kSubBlock, payload);
         }
         break;
       }
       case net::Tag::kSubBlock: {
         if (self.committee >= 0) {
-          const auto sub = wire::BlockMsg::deserialize(msg.payload);
+          const auto sub = wire::BlockMsg::deserialize(msg.payload());
           for (const auto& tx : sub.txs) self.utxo.apply(tx);
         }
         break;
@@ -307,7 +307,7 @@ void Engine::handle(net::NodeId id, const net::Message& msg, net::Time now) {
 void Engine::on_config(NodeState& self, const net::Message& msg) {
   if (self.role != Role::kLeader && self.role != Role::kPartial) return;
   if (self.misbehaves(round_) && self.behavior == Behavior::kCrash) return;
-  const auto intro = wire::Intro::deserialize(msg.payload);
+  const auto intro = wire::Intro::deserialize(msg.payload());
   if (intro.ticket.committee != static_cast<std::uint32_t>(self.committee)) {
     return;
   }
@@ -329,7 +329,7 @@ void Engine::on_config(NodeState& self, const net::Message& msg) {
 }
 
 void Engine::on_member_list(NodeState& self, const net::Message& msg) {
-  const auto list = wire::MemberListMsg::deserialize(msg.payload);
+  const auto list = wire::MemberListMsg::deserialize(msg.payload());
   std::vector<net::NodeId> fresh;
   for (std::size_t i = 0; i < list.pks.size(); ++i) {
     if (self.known_pks.insert(list.pks[i].y).second) {
@@ -339,15 +339,15 @@ void Engine::on_member_list(NodeState& self, const net::Message& msg) {
   }
   // Introduce ourselves to previously unconnected members on the list.
   wire::Intro intro{self.id, self.keys.pk, self.ticket};
-  const Bytes payload = intro.serialize();
+  const auto payload = net::make_payload(intro.serialize());
   for (net::NodeId peer : fresh) {
     if (peer == self.id) continue;
-    net_->send(self.id, peer, net::Tag::kMember, payload);
+    net_->send_shared(self.id, peer, net::Tag::kMember, payload);
   }
 }
 
 void Engine::on_member(NodeState& self, const net::Message& msg) {
-  const auto intro = wire::Intro::deserialize(msg.payload);
+  const auto intro = wire::Intro::deserialize(msg.payload());
   if (intro.ticket.committee != static_cast<std::uint32_t>(self.committee)) {
     return;
   }
@@ -461,7 +461,7 @@ void Engine::process_member_output(NodeState& self, std::uint32_t scope,
 
 void Engine::on_consensus_msg(NodeState& self, const net::Message& msg,
                               net::Time now) {
-  const auto env = wire::ConsensusEnvelope::deserialize(msg.payload);
+  const auto env = wire::ConsensusEnvelope::deserialize(msg.payload());
   // Route by scope: committee members only participate in instances of
   // their own committee; referees in referee-scope instances.
   if (env.scope == params_.m) {
@@ -516,17 +516,19 @@ void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
       if (options_.extension_parallel_blocks) {
         // §VIII-B: C_R only issues permissions; each leader broadcasts
         // its own sub-block, removing the O(mn) burden from C_R.
+        const auto permit = net::make_payload(Bytes(40, 0));
         for (std::uint32_t k = 0; k < params_.m; ++k) {
-          net_->send(self.id, committees_[k].current_leader,
-                     net::Tag::kBlockPermit, Bytes(40, 0));
+          net_->send_shared(self.id, committees_[k].current_leader,
+                            net::Tag::kBlockPermit, permit);
         }
         return;
       }
       // Release to the whole network (§IV-G): the O(mn) burden of
-      // Table II.
+      // Table II. One shared buffer serves all n-1 receivers.
+      const auto payload = net::make_payload(block_payload_);
       for (const auto& n : nodes_) {
         if (n.id == self.id) continue;
-        net_->send(self.id, n.id, net::Tag::kBlock, block_payload_);
+        net_->send_shared(self.id, n.id, net::Tag::kBlock, payload);
       }
       return;
     }
@@ -547,10 +549,10 @@ void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
       ack.commitment = cit->second;
       ack.members = lit->second;
       ack.cert = cert.serialize();
-      const Bytes payload = ack.serialize();
+      const auto payload = net::make_payload(ack.serialize());
       for (std::uint32_t j = 0; j < params_.m; ++j) {
         for (net::NodeId km : assign_.committees[j].key_members()) {
-          net_->send(self.id, km, net::Tag::kSemiCommitAck, payload);
+          net_->send_shared(self.id, km, net::Tag::kSemiCommitAck, payload);
         }
       }
       return;
@@ -569,9 +571,9 @@ void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
     wire::CertifiedResult result;
     result.payload = committees_[k].pending_intra_payload;
     result.cert = cert.serialize();
-    const Bytes payload = result.serialize();
+    const auto payload = net::make_payload(result.serialize());
     for (net::NodeId rm : assign_.referees) {
-      net_->send(self.id, rm, net::Tag::kIntraResult, payload);
+      net_->send_shared(self.id, rm, net::Tag::kIntraResult, payload);
     }
     self.sent_intra_result = true;
     return;
@@ -581,9 +583,9 @@ void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
     wire::CertifiedResult result;
     result.payload = committees_[k].pending_score_payload;
     result.cert = cert.serialize();
-    const Bytes payload = result.serialize();
+    const auto payload = net::make_payload(result.serialize());
     for (net::NodeId rm : assign_.referees) {
-      net_->send(self.id, rm, net::Tag::kScoreReport, payload);
+      net_->send_shared(self.id, rm, net::Tag::kScoreReport, payload);
     }
     return;
   }
@@ -594,9 +596,9 @@ void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
     w.u32(k);
     w.bytes(crypto::digest_to_bytes(self.utxo.digest()));
     w.bytes(cert.serialize());
-    const Bytes payload = w.take();
+    const auto payload = net::make_payload(w.take());
     for (net::NodeId rm : assign_.referees) {
-      net_->send(self.id, rm, net::Tag::kUtxoHandoff, payload);
+      net_->send_shared(self.id, rm, net::Tag::kUtxoHandoff, payload);
     }
     return;
   }
@@ -610,11 +612,11 @@ void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
         wire::CrossTxListMsg::deserialize(pit->second);
     request.origin_cert = cert.serialize();
     pit->second = request.serialize();
-    const Bytes payload = pit->second;
+    const auto payload = net::make_payload(pit->second);
     const net::NodeId dest_leader = committees_[dest].current_leader;
-    net_->send(self.id, dest_leader, net::Tag::kCrossTxList, payload);
+    net_->send_shared(self.id, dest_leader, net::Tag::kCrossTxList, payload);
     for (net::NodeId pm : assign_.committees[dest].partial) {
-      net_->send(self.id, pm, net::Tag::kCrossPartialHint, payload);
+      net_->send_shared(self.id, pm, net::Tag::kCrossPartialHint, payload);
     }
     return;
   }
@@ -627,11 +629,11 @@ void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
     result.request = wire::CrossTxListMsg::deserialize(rit->second);
     result.dest_cert = cert.serialize();
     result.dest_members = committee_pks(k);
-    const Bytes payload = result.serialize();
-    net_->send(self.id, committees_[origin].current_leader,
-               net::Tag::kCrossResult, payload);
+    const auto payload = net::make_payload(result.serialize());
+    net_->send_shared(self.id, committees_[origin].current_leader,
+                      net::Tag::kCrossResult, payload);
     for (net::NodeId rm : assign_.referees) {
-      net_->send(self.id, rm, net::Tag::kCrossResult, payload);
+      net_->send_shared(self.id, rm, net::Tag::kCrossResult, payload);
     }
     self.cross_done.insert(origin);
     return;

@@ -55,19 +55,19 @@ void Engine::leader_send_semicommit(NodeState& leader, std::uint32_t k) {
       leader.keys, commitment_payload(round_, k, commitment));
   msg.list_msg =
       crypto::make_signed(leader.keys, member_list_payload(round_, k, list));
-  const Bytes payload = msg.serialize();
+  const auto payload = net::make_payload(msg.serialize());
   for (net::NodeId rm : assign_.referees) {
-    net_->send(leader.id, rm, net::Tag::kSemiCommit, payload);
+    net_->send_shared(leader.id, rm, net::Tag::kSemiCommit, payload);
   }
   for (net::NodeId pm : assign_.committees[k].partial) {
     if (pm == leader.id) continue;
-    net_->send(leader.id, pm, net::Tag::kSemiCommit, payload);
+    net_->send_shared(leader.id, pm, net::Tag::kSemiCommit, payload);
   }
 }
 
 void Engine::on_semicommit(NodeState& self, const net::Message& msg,
                            net::Time now) {
-  const auto sc = wire::SemiCommitMsg::deserialize(msg.payload);
+  const auto sc = wire::SemiCommitMsg::deserialize(msg.payload());
   const std::uint32_t k = sc.committee;
   if (k >= params_.m) return;
   const crypto::PublicKey leader_pk = nodes_[committees_[k].current_leader].keys.pk;
@@ -113,10 +113,10 @@ void Engine::on_semicommit(NodeState& self, const net::Message& msg,
     ack.committee = k;
     ack.commitment = commitment;
     ack.members = members;
-    const Bytes ack_payload = ack.serialize();
+    const auto ack_payload = net::make_payload(ack.serialize());
     for (std::uint32_t j = 0; j < params_.m; ++j) {
       for (net::NodeId km : assign_.committees[j].key_members()) {
-        net_->send(self.id, km, net::Tag::kSemiCommitAck, ack_payload);
+        net_->send_shared(self.id, km, net::Tag::kSemiCommitAck, ack_payload);
       }
     }
     // The designated referee additionally drives the C_R agreement on
@@ -160,7 +160,7 @@ void Engine::on_semicommit(NodeState& self, const net::Message& msg,
 
 void Engine::on_semicommit_ack(NodeState& self, const net::Message& msg,
                                net::Time now) {
-  const auto ack = wire::SemiCommitAck::deserialize(msg.payload);
+  const auto ack = wire::SemiCommitAck::deserialize(msg.payload());
   if (ack.committee >= params_.m) return;
   self.commitments[ack.committee] = ack.commitment;
   self.lists[ack.committee] = ack.members;
@@ -268,6 +268,7 @@ void Engine::leader_start_intra(std::uint32_t k, net::Time now) {
     if (committees_[k].attempt != attempt) return;  // superseded by recovery
     NodeState& leader = nodes_[committees_[k].current_leader];
     if (!leader.is_active(round_)) return;
+    leader_flush_votes(leader, /*cross=*/false);
     const auto& txs = committees_[k].intra_list;
     const std::size_t committee_size = assign_.committees[k].size();
     leader.intra_decision = tally(leader.votes, txs.size(), committee_size);
@@ -288,7 +289,7 @@ void Engine::leader_start_intra(std::uint32_t k, net::Time now) {
 }
 
 void Engine::on_txlist(NodeState& self, const net::Message& msg) {
-  const auto list = wire::TxListMsg::deserialize(msg.payload);
+  const auto list = wire::TxListMsg::deserialize(msg.payload());
   if (self.committee != static_cast<std::int64_t>(list.committee)) return;
   const crypto::PublicKey leader_pk =
       nodes_[committees_[list.committee].current_leader].keys.pk;
@@ -310,15 +311,38 @@ void Engine::on_txlist(NodeState& self, const net::Message& msg) {
 }
 
 void Engine::on_vote(NodeState& self, const net::Message& msg) {
-  const auto vote = wire::VoteMsg::deserialize(msg.payload);
+  auto vote = wire::VoteMsg::deserialize(msg.payload());
   if (self.id != committees_[vote.committee].current_leader) return;
   if (vote.attempt != committees_[vote.committee].attempt) return;
-  if (!vote.signed_vote.valid()) return;
   const net::NodeId voter = node_of_pk(vote.signed_vote.signer);
   if (voter == net::kNoNode) return;
   if (!assign_.committees[vote.committee].contains(voter)) return;
-  auto& sink = vote.cross ? self.cross_votes : self.votes;
-  sink[voter] = wire::decode_vote_vec(vote.signed_vote.payload);
+  // Park the signed vote; signatures are batch-verified at tally time
+  // (leader_flush_votes) instead of one Schnorr check per arrival.
+  auto& pending = vote.cross ? self.pending_cross_votes : self.pending_votes;
+  pending[voter].push_back(std::move(vote.signed_vote));
+}
+
+void Engine::leader_flush_votes(NodeState& leader, bool cross) {
+  auto& pending = cross ? leader.pending_cross_votes : leader.pending_votes;
+  if (pending.empty()) return;
+  std::vector<const crypto::SignedMessage*> batch;
+  for (const auto& [voter, arrivals] : pending) {
+    for (const auto& sm : arrivals) batch.push_back(&sm);
+  }
+  // One aggregate check for the common all-valid case; either way the
+  // per-message verdicts land in the cache, so the valid() calls below
+  // are hits.
+  crypto::verify_batch(batch);
+  auto& sink = cross ? leader.cross_votes : leader.votes;
+  for (const auto& [voter, arrivals] : pending) {
+    // Last valid arrival wins — identical to the old scheme where each
+    // arriving vote was verified immediately and valid ones overwrote.
+    for (const auto& sm : arrivals) {
+      if (sm.valid()) sink[voter] = wire::decode_vote_vec(sm.payload);
+    }
+  }
+  pending.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +394,7 @@ void Engine::leader_start_cross(std::uint32_t k, net::Time now) {
     if (committees_[k].attempt != attempt) return;
     NodeState& leader = nodes_[committees_[k].current_leader];
     if (!leader.is_active(round_)) return;
+    leader_flush_votes(leader, /*cross=*/true);
     const auto& txs = committees_[k].cross_list;
     const std::size_t committee_size = assign_.committees[k].size();
     leader.cross_decision = tally(leader.cross_votes, txs.size(), committee_size);
@@ -449,7 +474,7 @@ void Engine::on_cross_txlist(NodeState& self, const net::Message& msg,
     // running committee consensus. The forged certificate cannot carry
     // >C/2 member signatures, so origin leader and referees reject it;
     // the partial set's 2*Gamma rule then evicts the imitator.
-    const auto req = wire::CrossTxListMsg::deserialize(msg.payload);
+    const auto req = wire::CrossTxListMsg::deserialize(msg.payload());
     wire::CrossResultMsg forged;
     forged.request = req;
     consensus::QuorumCert fake;
@@ -459,25 +484,25 @@ void Engine::on_cross_txlist(NodeState& self, const net::Message& msg,
         crypto::make_signed(self.keys, bytes_of("not-a-confirm")));
     forged.dest_cert = fake.serialize();
     forged.dest_members = committee_pks(k);
-    const Bytes payload = forged.serialize();
-    net_->send(self.id, committees_[req.origin].current_leader,
-               net::Tag::kCrossResult, payload);
+    const auto payload = net::make_payload(forged.serialize());
+    net_->send_shared(self.id, committees_[req.origin].current_leader,
+                      net::Tag::kCrossResult, payload);
     for (net::NodeId rm : assign_.referees) {
-      net_->send(self.id, rm, net::Tag::kCrossResult, payload);
+      net_->send_shared(self.id, rm, net::Tag::kCrossResult, payload);
     }
     return;
   }
-  leader_handle_cross_in(self, msg.payload, now);
+  leader_handle_cross_in(self, msg.payload(), now);
 }
 
 void Engine::on_cross_hint(NodeState& self, const net::Message& msg,
                            net::Time now) {
   if (self.role != Role::kPartial || self.committee < 0) return;
-  const auto req = wire::CrossTxListMsg::deserialize(msg.payload);
+  const auto req = wire::CrossTxListMsg::deserialize(msg.payload());
   const std::uint32_t k = static_cast<std::uint32_t>(self.committee);
   if (req.dest != k) return;
   if (self.cross_hints.contains(req.origin)) return;
-  self.cross_hints[req.origin] = Bytes(msg.payload.begin(), msg.payload.end());
+  self.cross_hints[req.origin] = msg.payload();
   self.cross_hint_at[req.origin] = now;
 
   // Lemma 7: if after 2*Gamma the leader has not engaged the consensus on
@@ -510,7 +535,7 @@ void Engine::on_cross_hint(NodeState& self, const net::Message& msg,
 void Engine::on_cross_result(NodeState& self, const net::Message& msg) {
   // Referees record the doubly-certified cross list for the block.
   if (self.role != Role::kReferee) return;
-  const auto result = wire::CrossResultMsg::deserialize(msg.payload);
+  const auto result = wire::CrossResultMsg::deserialize(msg.payload());
   const std::uint32_t dest = result.request.dest;
   const std::uint32_t origin = result.request.origin;
   if (dest >= params_.m || origin >= params_.m) return;
@@ -544,8 +569,7 @@ void Engine::on_cross_result(NodeState& self, const net::Message& msg) {
   } catch (const std::exception&) {
     return;
   }
-  committees_[dest].cross_results[origin] =
-      Bytes(msg.payload.begin(), msg.payload.end());
+  committees_[dest].cross_results[origin] = msg.payload();
 }
 
 // ---------------------------------------------------------------------------
@@ -554,7 +578,7 @@ void Engine::on_cross_result(NodeState& self, const net::Message& msg) {
 
 void Engine::on_intra_result(NodeState& self, const net::Message& msg) {
   if (self.role != Role::kReferee) return;
-  const auto result = wire::CertifiedResult::deserialize(msg.payload);
+  const auto result = wire::CertifiedResult::deserialize(msg.payload());
   const auto decision = wire::IntraDecision::deserialize(result.payload);
   if (decision.committee >= params_.m) return;
   if (committees_[decision.committee].intra_result) return;
@@ -572,7 +596,7 @@ void Engine::on_intra_result(NodeState& self, const net::Message& msg) {
 
 void Engine::on_score_report(NodeState& self, const net::Message& msg) {
   if (self.role != Role::kReferee) return;
-  const auto result = wire::CertifiedResult::deserialize(msg.payload);
+  const auto result = wire::CertifiedResult::deserialize(msg.payload());
   const auto scores = wire::ScoreListMsg::deserialize(result.payload);
   if (scores.committee >= params_.m) return;
   if (committees_[scores.committee].score_report) return;
@@ -599,6 +623,10 @@ void Engine::leader_send_scores(std::uint32_t k, net::Time now) {
   NodeState& leader = nodes_[committees_[k].current_leader];
   if (!leader.is_active(round_)) return;
   if (leader.misbehaves(round_) && leader.behavior == Behavior::kCrash) return;
+
+  // Late votes (arrived after the tally deadline) still count for scores.
+  leader_flush_votes(leader, /*cross=*/false);
+  leader_flush_votes(leader, /*cross=*/true);
 
   const std::size_t intra_dim = committees_[k].intra_list.size();
   const std::size_t cross_dim = committees_[k].cross_list.size();
@@ -664,7 +692,7 @@ void Engine::begin_accusation(NodeState& accuser, std::uint32_t k,
 
 void Engine::on_accuse(NodeState& self, const net::Message& msg,
                        net::Time now) {
-  const auto accusation = Accusation::deserialize(msg.payload);
+  const auto accusation = Accusation::deserialize(msg.payload());
   if (self.committee != static_cast<std::int64_t>(accusation.committee)) return;
   const net::NodeId accuser_id = node_of_pk(accusation.accuser);
   if (accuser_id == net::kNoNode || accuser_id == self.id) return;
@@ -720,7 +748,7 @@ void Engine::on_accuse(NodeState& self, const net::Message& msg,
 void Engine::on_impeach_vote(NodeState& self, const net::Message& msg,
                              net::Time now) {
   if (!self.pending_accusation || self.sent_prosecution) return;
-  const auto approval = crypto::SignedMessage::deserialize(msg.payload);
+  const auto approval = crypto::SignedMessage::deserialize(msg.payload());
   const Bytes expected =
       ImpeachmentCert::approval_payload(*self.pending_accusation);
   if (!equal(approval.payload, expected) || !approval.valid()) return;
@@ -735,9 +763,9 @@ void Engine::on_impeach_vote(NodeState& self, const net::Message& msg,
     ImpeachmentCert cert;
     cert.accusation = *self.pending_accusation;
     cert.approvals = self.impeach_approvals;
-    const Bytes payload = cert.serialize();
+    const auto payload = net::make_payload(cert.serialize());
     for (net::NodeId rm : assign_.referees) {
-      net_->send(self.id, rm, net::Tag::kProsecute, payload);
+      net_->send_shared(self.id, rm, net::Tag::kProsecute, payload);
     }
     self.sent_prosecution = true;
   }
@@ -778,7 +806,7 @@ bool Engine::referee_corroborates_timeout(const NodeState& referee,
 void Engine::on_prosecute(NodeState& self, const net::Message& msg,
                           net::Time now) {
   if (self.role != Role::kReferee) return;
-  const auto cert = ImpeachmentCert::deserialize(msg.payload);
+  const auto cert = ImpeachmentCert::deserialize(msg.payload());
   const auto& accusation = cert.accusation;
   if (accusation.committee >= params_.m) return;
   if (committees_[accusation.committee].leader_convicted) return;
@@ -803,7 +831,7 @@ void Engine::on_prosecute(NodeState& self, const net::Message& msg,
   const std::uint64_t sn = sn_reselect(accusation.committee,
                                        committees_[accusation.committee].attempt);
   if (assign_.referees[sn % assign_.referees.size()] != self.id) return;
-  referee_convict(self, accusation, now, msg.payload);
+  referee_convict(self, accusation, now, msg.payload());
 }
 
 void Engine::referee_convict(NodeState& referee, const Accusation& accusation,
@@ -857,16 +885,16 @@ void Engine::announce_new_leader(NodeState& referee, std::uint32_t k) {
   announcement.committee = k;
   announcement.evicted = nodes_[committees_[k].current_leader].keys.pk;
   announcement.new_leader = nodes_[replacement].keys.pk;
-  const Bytes payload = announcement.serialize();
+  const auto payload = net::make_payload(announcement.serialize());
   // Alg. 6 line 4: send to every member of C_k; also inform all leaders
   // so cross-shard handling can resume safely.
   for (net::NodeId id : committee_members(k)) {
-    net_->send(referee.id, id, net::Tag::kNewLeader, payload);
+    net_->send_shared(referee.id, id, net::Tag::kNewLeader, payload);
   }
   for (std::uint32_t j = 0; j < params_.m; ++j) {
     if (j == k) continue;
-    net_->send(referee.id, committees_[j].current_leader,
-               net::Tag::kNewLeader, payload);
+    net_->send_shared(referee.id, committees_[j].current_leader,
+                      net::Tag::kNewLeader, payload);
   }
   install_new_leader(k, replacement, net_->now());
 }
@@ -875,7 +903,7 @@ void Engine::on_new_leader(NodeState& self, const net::Message& msg,
                            net::Time now) {
   // Member-side state refresh; the authoritative switch happened in
   // install_new_leader when C_R certified the re-selection.
-  const auto announcement = wire::NewLeaderMsg::deserialize(msg.payload);
+  const auto announcement = wire::NewLeaderMsg::deserialize(msg.payload());
   if (self.committee == static_cast<std::int64_t>(announcement.committee)) {
     self.leader_sent_txlist = false;
     self.leader_sent_commitment = false;

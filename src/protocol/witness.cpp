@@ -91,13 +91,16 @@ bool ImpeachmentCert::verify(const std::vector<crypto::PublicKey>& committee,
   std::set<std::uint64_t> committee_keys;
   for (const auto& pk : committee) committee_keys.insert(pk.y);
   std::set<std::uint64_t> signers;
+  std::vector<const crypto::SignedMessage*> to_verify;
+  to_verify.reserve(approvals.size());
   for (const auto& sm : approvals) {
     if (!committee_keys.contains(sm.signer.y)) return false;
     if (!equal(sm.payload, expected)) return false;
-    if (!sm.valid()) return false;
     if (!signers.insert(sm.signer.y).second) return false;
+    to_verify.push_back(&sm);
   }
-  return signers.size() * 2 > committee_size;
+  if (signers.size() * 2 <= committee_size) return false;
+  return crypto::verify_batch(to_verify);
 }
 
 }  // namespace cyc::protocol

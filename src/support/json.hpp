@@ -1,0 +1,136 @@
+// Minimal JSON writer for machine-readable benchmark artifacts
+// (bench/out/BENCH_*.json). Emits objects/arrays with automatic comma
+// placement; values are numbers, booleans and escaped strings. No parser
+// — the artifacts are consumed by external tooling.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyc::support {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    pre_value();
+    buf_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    buf_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    pre_value();
+    buf_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    buf_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    append_string(k);
+    buf_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    pre_value();
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v) {
+    pre_value();
+    if (!std::isfinite(v)) {
+      buf_ += "null";  // bare nan/inf would invalidate the document
+      return *this;
+    }
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%.10g", v);
+    buf_ += tmp;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    pre_value();
+    buf_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    pre_value();
+    buf_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    pre_value();
+    buf_ += v ? "true" : "false";
+    return *this;
+  }
+
+  /// key + scalar value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return buf_; }
+
+ private:
+  void comma() {
+    if (!stack_.empty()) {
+      if (stack_.back()) buf_ += ',';
+      stack_.back() = true;
+    }
+  }
+  void pre_value() {
+    if (pending_value_) {
+      pending_value_ = false;  // value follows its key; comma already done
+    } else {
+      comma();
+    }
+  }
+  void append_string(std::string_view s) {
+    buf_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': buf_ += "\\\""; break;
+        case '\\': buf_ += "\\\\"; break;
+        case '\n': buf_ += "\\n"; break;
+        case '\t': buf_ += "\\t"; break;
+        case '\r': buf_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char tmp[8];
+            std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+            buf_ += tmp;
+          } else {
+            buf_ += c;
+          }
+      }
+    }
+    buf_ += '"';
+  }
+
+  std::string buf_;
+  std::vector<bool> stack_;  // per nesting level: "has emitted an element"
+  bool pending_value_ = false;
+};
+
+}  // namespace cyc::support

@@ -1,0 +1,151 @@
+// Verification-cache coherence and batch verification.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+
+namespace cyc::crypto {
+namespace {
+
+SignedMessage signed_msg(std::uint64_t key_seed, std::string_view text) {
+  const KeyPair keys = KeyPair::from_seed(key_seed);
+  return make_signed(keys, bytes_of(text));
+}
+
+TEST(VerifyCache, RepeatVerificationHitsCache) {
+  verify_cache::clear();
+  const SignedMessage m = signed_msg(1, "hello");
+  EXPECT_TRUE(m.valid());
+  const std::uint64_t misses_after_first = verify_cache::misses();
+  EXPECT_TRUE(m.valid());
+  EXPECT_TRUE(m.valid());
+  EXPECT_EQ(verify_cache::misses(), misses_after_first);
+  EXPECT_GE(verify_cache::hits(), 2u);
+
+  // A separate object with identical content also hits.
+  const SignedMessage copy = SignedMessage::deserialize(m.serialize());
+  EXPECT_TRUE(copy.valid());
+  EXPECT_EQ(verify_cache::misses(), misses_after_first);
+}
+
+TEST(VerifyCache, MutationChangesKeyAndVerdict) {
+  verify_cache::clear();
+  SignedMessage m = signed_msg(2, "payload");
+  EXPECT_TRUE(m.valid());
+
+  // Mutate the payload: the cached 'true' for the old content must not
+  // leak onto the new content.
+  m.payload.push_back(0x01);
+  EXPECT_FALSE(m.valid());
+
+  // Restore: back to the (cached) valid verdict.
+  m.payload.pop_back();
+  EXPECT_TRUE(m.valid());
+
+  // Mutating the signature likewise re-keys the verdict.
+  m.sig.s ^= 1;
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(VerifyCache, CachesNegativeVerdicts) {
+  verify_cache::clear();
+  SignedMessage m = signed_msg(3, "tamper");
+  m.payload.push_back(0xff);
+  EXPECT_FALSE(m.valid());
+  const std::uint64_t misses = verify_cache::misses();
+  EXPECT_FALSE(m.valid());
+  EXPECT_EQ(verify_cache::misses(), misses);
+}
+
+TEST(VerifyBatch, AllValid) {
+  verify_cache::clear();
+  std::vector<SignedMessage> msgs;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    msgs.push_back(signed_msg(10 + i, "batch item"));
+  }
+  std::vector<const SignedMessage*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  EXPECT_TRUE(verify_batch(ptrs));
+  // The batch primes the cache: individual checks are now hits.
+  const std::uint64_t misses = verify_cache::misses();
+  for (const auto& m : msgs) EXPECT_TRUE(m.valid());
+  EXPECT_EQ(verify_cache::misses(), misses);
+}
+
+TEST(VerifyBatch, DetectsSingleBadSignature) {
+  verify_cache::clear();
+  std::vector<SignedMessage> msgs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    msgs.push_back(signed_msg(20 + i, "batch item"));
+  }
+  msgs[3].sig.s = add_q(msgs[3].sig.s, 1);
+  std::vector<const SignedMessage*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  EXPECT_FALSE(verify_batch(ptrs));
+  // The fallback pass cached per-message verdicts: exactly one is bad.
+  int bad = 0;
+  for (const auto& m : msgs) bad += m.valid() ? 0 : 1;
+  EXPECT_EQ(bad, 1);
+}
+
+TEST(VerifyBatch, DetectsForgedMessageContent) {
+  verify_cache::clear();
+  std::vector<SignedMessage> msgs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    msgs.push_back(signed_msg(30 + i, "authentic"));
+  }
+  msgs[0].payload = bytes_of("forged");
+  std::vector<const SignedMessage*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  EXPECT_FALSE(verify_batch(ptrs));
+}
+
+TEST(VerifyBatch, EmptyAndSingleton) {
+  verify_cache::clear();
+  EXPECT_TRUE(verify_batch({}));
+  const SignedMessage m = signed_msg(40, "solo");
+  EXPECT_TRUE(verify_batch({&m}));
+  SignedMessage bad = m;
+  bad.payload.push_back(0);
+  EXPECT_FALSE(verify_batch({&bad}));
+}
+
+TEST(VerifyBatch, MatchesIndividualVerdictsOnMixedBatches) {
+  // Randomized cross-check: batch result == AND of individual verify().
+  rng::Stream rng(99);
+  for (int round = 0; round < 20; ++round) {
+    verify_cache::clear();
+    std::vector<SignedMessage> msgs;
+    bool expect_all = true;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      SignedMessage m = signed_msg(100 + i, "mixed");
+      if (rng.chance(0.3)) {
+        m.sig.r = gmul(m.sig.r, kG);  // corrupt
+        expect_all = false;
+      }
+      msgs.push_back(std::move(m));
+    }
+    std::vector<const SignedMessage*> ptrs;
+    for (const auto& m : msgs) ptrs.push_back(&m);
+    EXPECT_EQ(verify_batch(ptrs), expect_all);
+    for (const auto& m : msgs) {
+      EXPECT_EQ(m.valid(), verify(m.signer, m.payload, m.sig));
+    }
+  }
+}
+
+TEST(VerifyCache, RawTripleCacheAgreesWithVerify) {
+  verify_cache::clear();
+  const KeyPair keys = KeyPair::from_seed(7);
+  const Bytes msg = bytes_of("tx body");
+  const Signature sig = sign(keys.sk, msg);
+  EXPECT_TRUE(verify_cached(keys.pk, msg, sig));
+  EXPECT_TRUE(verify_cached(keys.pk, msg, sig));  // hit
+  Bytes other = msg;
+  other.push_back(1);
+  EXPECT_FALSE(verify_cached(keys.pk, other, sig));
+}
+
+}  // namespace
+}  // namespace cyc::crypto

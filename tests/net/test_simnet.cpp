@@ -19,7 +19,7 @@ TEST(SimNet, DeliversMessage) {
     EXPECT_EQ(msg.from, 0u);
     EXPECT_EQ(msg.to, 1u);
     EXPECT_EQ(msg.tag, Tag::kConfig);
-    EXPECT_EQ(msg.payload, Bytes({1, 2, 3}));
+    EXPECT_EQ(msg.payload(), Bytes({1, 2, 3}));
   });
   net.send(0, 1, Tag::kConfig, {1, 2, 3});
   net.run();

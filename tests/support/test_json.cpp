@@ -1,0 +1,68 @@
+// JsonWriter: structure, commas, escaping.
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace cyc::support {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("a", std::uint64_t{1});
+  j.field("b", 2.5);
+  j.field("c", true);
+  j.field("d", "text");
+  j.end_object();
+  EXPECT_EQ(j.str(), R"({"a":1,"b":2.5,"c":true,"d":"text"})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("points");
+  j.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    j.begin_object();
+    j.field("i", i);
+    j.end_object();
+  }
+  j.end_array();
+  j.field("n", 2);
+  j.end_object();
+  EXPECT_EQ(j.str(), R"({"points":[{"i":0},{"i":1}],"n":2})");
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(1.0);
+  j.value(2.0);
+  j.value(3.5);
+  j.end_array();
+  EXPECT_EQ(j.str(), "[1,2,3.5]");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("s", "a\"b\\c\nd");
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("arr");
+  j.begin_array();
+  j.end_array();
+  j.key("obj");
+  j.begin_object();
+  j.end_object();
+  j.end_object();
+  EXPECT_EQ(j.str(), R"({"arr":[],"obj":{}})");
+}
+
+}  // namespace
+}  // namespace cyc::support

@@ -1,0 +1,58 @@
+// Sweep-runner behaviour: ordering, worker bounds, exception transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/parallel.hpp"
+
+namespace cyc::support {
+namespace {
+
+TEST(ParallelSweep, ResultsInIndexOrder) {
+  const auto out = parallel_sweep(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelSweep, EveryJobRunsExactlyOnce) {
+  std::vector<std::atomic<int>> runs(64);
+  parallel_sweep(64, [&](std::size_t i) {
+    runs[i].fetch_add(1);
+    return 0;
+  });
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(ParallelSweep, EmptyAndSingle) {
+  EXPECT_TRUE(parallel_sweep(0, [](std::size_t) { return 1; }).empty());
+  const auto one = parallel_sweep(1, [](std::size_t i) { return i + 7; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7u);
+}
+
+TEST(ParallelSweep, ExplicitWorkerCount) {
+  const auto out =
+      parallel_sweep(16, [](std::size_t i) { return i; }, /*threads=*/2);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}),
+            std::size_t{120});
+}
+
+TEST(ParallelSweep, PropagatesExceptions) {
+  EXPECT_THROW(parallel_sweep(8,
+                              [](std::size_t i) {
+                                if (i == 3) throw std::runtime_error("boom");
+                                return i;
+                              },
+                              4),
+               std::runtime_error);
+}
+
+TEST(SweepThreads, Bounds) {
+  EXPECT_EQ(sweep_threads(3), 3u);
+  EXPECT_GE(sweep_threads(0), 1u);
+}
+
+}  // namespace
+}  // namespace cyc::support
