@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Build Release and run the scenario-matrix + invariant harness.
+#
+# Runs the bounded default matrix (3 adversary mixes x 2 delay regimes x
+# 2 cross-shard fractions x 2 capacity skews + churn scenarios, 2 seeds
+# each) twice and byte-compares the JSON artifacts — the harness output
+# is a pure function of the matrix, so any diff is a determinism
+# regression. Exits non-zero on any invariant violation, determinism
+# diff, or build failure.
+#
+# Usage: scripts/run_scenarios.sh [build-dir] [-- extra scenario_runner args]
+#   scripts/run_scenarios.sh                       # default matrix
+#   scripts/run_scenarios.sh build-bench           # reuse the bench build dir
+#   scripts/run_scenarios.sh build-bench -- --spec my_scenarios.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="build-bench"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target scenario_runner
+
+mkdir -p bench/out
+echo "=== scenario_runner (pass 1) ==="
+"$BUILD_DIR/scenario_runner" --out bench/out/SCENARIOS.json "$@"
+echo
+echo "=== scenario_runner (pass 2, determinism check) ==="
+"$BUILD_DIR/scenario_runner" --out bench/out/SCENARIOS.rerun.json "$@" \
+  > /dev/null
+
+if ! cmp -s bench/out/SCENARIOS.json bench/out/SCENARIOS.rerun.json; then
+  echo "DETERMINISM REGRESSION: artifacts differ between identical runs" >&2
+  diff bench/out/SCENARIOS.json bench/out/SCENARIOS.rerun.json | head >&2
+  exit 1
+fi
+rm -f bench/out/SCENARIOS.rerun.json
+echo "artifact deterministic: bench/out/SCENARIOS.json"

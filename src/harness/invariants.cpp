@@ -1,0 +1,313 @@
+#include "harness/invariants.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ledger/validator.hpp"
+
+namespace cyc::harness {
+
+namespace {
+
+std::string tx_key(const ledger::Transaction& tx) {
+  const auto id = tx.id();
+  return std::string(id.begin(), id.end());
+}
+
+std::string hex_prefix(const ledger::TxId& id) {
+  char buf[17];
+  for (int i = 0; i < 8; ++i) {
+    std::snprintf(buf + 2 * i, 3, "%02x", id[static_cast<std::size_t>(i)]);
+  }
+  return std::string(buf, 16);
+}
+
+ledger::Amount total_value(const std::vector<ledger::UtxoStore>& stores) {
+  ledger::Amount total = 0;
+  for (const auto& store : stores) total += store.total_value();
+  return total;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(const protocol::Engine& engine)
+    : engine_(engine),
+      mirror_(engine.shard_state()),
+      prev_total_value_(total_value(engine.shard_state())),
+      base_height_(engine.chain().height()) {
+  prev_reputation_.reserve(engine.node_count());
+  for (std::size_t id = 0; id < engine.node_count(); ++id) {
+    prev_reputation_.push_back(
+        engine.reputation(static_cast<net::NodeId>(id)));
+  }
+}
+
+std::size_t InvariantChecker::check_round(const protocol::RoundReport& report) {
+  const std::size_t before = violations_.size();
+  const std::uint64_t round = report.round;
+
+  if (report.invalid_committed != 0) {
+    add("safety-invalid-committed", round,
+        std::to_string(report.invalid_committed) +
+            " ground-truth-invalid txs reached the block");
+  }
+
+  check_chain(report);
+  check_block_txs(engine_.last_block(), engine_.params().m, committed_ids_,
+                  spent_, mirror_, round, violations_);
+  check_state_digests(engine_.shard_state(), mirror_, round, violations_);
+
+  const ledger::Amount now_value = total_value(engine_.shard_state());
+  if (now_value > prev_total_value_) {
+    add("value-conservation", round,
+        "total shard value grew from " + std::to_string(prev_total_value_) +
+            " to " + std::to_string(now_value));
+  }
+  prev_total_value_ = now_value;
+
+  check_flow(engine_.last_flow(), engine_.carryover_size(), round,
+             violations_);
+  if (engine_.last_flow().committed != report.txs_committed) {
+    add("flow-conservation", round,
+        "flow.committed " + std::to_string(engine_.last_flow().committed) +
+            " != report.txs_committed " +
+            std::to_string(report.txs_committed));
+  }
+
+  check_recovery(report);
+  check_liveness(report);
+  check_reputation(report);
+
+  rounds_checked_ += 1;
+  return violations_.size() - before;
+}
+
+void InvariantChecker::check_chain(const protocol::RoundReport& report) {
+  const std::uint64_t round = report.round;
+  const ledger::Chain& chain = engine_.chain();
+  if (!chain.validate()) {
+    add("chain-linkage", round, "header chain failed validation");
+  }
+  const std::size_t expected = base_height_ + rounds_checked_ + 1;
+  if (chain.height() != expected) {
+    add("chain-linkage", round,
+        "chain height " + std::to_string(chain.height()) + ", expected " +
+            std::to_string(expected));
+  }
+  const ledger::Block& block = engine_.last_block();
+  if (!(block.header == chain.tip())) {
+    add("block-body", round, "retained block is not the chain tip");
+  }
+  if (!block.body_matches()) {
+    add("block-body", round, "block body does not match its header root");
+  }
+  if (block.header.tx_count != report.txs_committed) {
+    add("block-body", round,
+        "header tx_count " + std::to_string(block.header.tx_count) +
+            " != report.txs_committed " +
+            std::to_string(report.txs_committed));
+  }
+}
+
+void InvariantChecker::check_block_txs(
+    const ledger::Block& block, std::uint32_t m,
+    std::set<std::string>& committed_ids,
+    std::unordered_set<ledger::OutPoint, ledger::OutPointHash>& spent,
+    std::vector<ledger::UtxoStore>& mirror, std::uint64_t round,
+    std::vector<Violation>& out) {
+  for (const auto& tx : block.txs) {
+    const auto id = tx.id();
+    if (!committed_ids.insert(tx_key(tx)).second) {
+      out.push_back({"block-exactly-once", round,
+                     "tx " + hex_prefix(id) + " committed twice"});
+    }
+    if (!ledger::check_tx_signature(tx)) {
+      out.push_back({"tx-signature", round,
+                     "tx " + hex_prefix(id) + " has an invalid signature"});
+    }
+    const std::uint32_t shard = tx.input_shard(m);
+    for (const auto& in : tx.inputs) {
+      if (!spent.insert(in).second) {
+        out.push_back({"double-spend", round,
+                       "outpoint " + hex_prefix(in.tx) + ":" +
+                           std::to_string(in.index) + " spent twice"});
+      }
+      if (shard < mirror.size() && !mirror[shard].contains(in)) {
+        out.push_back({"spend-of-missing-output", round,
+                       "tx " + hex_prefix(id) + " spends unknown outpoint " +
+                           hex_prefix(in.tx) + ":" +
+                           std::to_string(in.index)});
+      }
+    }
+    for (auto& store : mirror) store.apply(tx);
+  }
+}
+
+void InvariantChecker::check_state_digests(
+    const std::vector<ledger::UtxoStore>& state,
+    const std::vector<ledger::UtxoStore>& mirror, std::uint64_t round,
+    std::vector<Violation>& out) {
+  if (state.size() != mirror.size()) {
+    out.push_back({"utxo-mirror-digest", round,
+                   "shard count mismatch: " + std::to_string(state.size()) +
+                       " vs mirror " + std::to_string(mirror.size())});
+    return;
+  }
+  for (std::size_t k = 0; k < state.size(); ++k) {
+    if (state[k].digest() != state[k].full_digest()) {
+      out.push_back({"utxo-incremental-digest", round,
+                     "shard " + std::to_string(k) +
+                         ": rolling digest != full recomputation"});
+    }
+    if (state[k].digest() != mirror[k].digest()) {
+      out.push_back({"utxo-mirror-digest", round,
+                     "shard " + std::to_string(k) +
+                         ": engine view diverges from block replay (" +
+                         std::to_string(state[k].size()) + " vs " +
+                         std::to_string(mirror[k].size()) + " outputs)"});
+    }
+  }
+}
+
+void InvariantChecker::check_flow(const protocol::RoundFlow& flow,
+                                  std::size_t carryover_size,
+                                  std::uint64_t round,
+                                  std::vector<Violation>& out) {
+  if (flow.offered != flow.settled + flow.carried + flow.dropped) {
+    out.push_back(
+        {"flow-conservation", round,
+         "offered " + std::to_string(flow.offered) + " != settled " +
+             std::to_string(flow.settled) + " + carried " +
+             std::to_string(flow.carried) + " + dropped " +
+             std::to_string(flow.dropped)});
+  }
+  if (flow.foreign != 0) {
+    out.push_back({"flow-conservation", round,
+                   std::to_string(flow.foreign) +
+                       " certified txs were never offered in any list"});
+  }
+  if (flow.committed > flow.settled) {
+    out.push_back({"flow-conservation", round,
+                   "committed " + std::to_string(flow.committed) +
+                       " exceeds settled " + std::to_string(flow.settled)});
+  }
+  if (carryover_size != flow.carried) {
+    out.push_back({"flow-conservation", round,
+                   "carryover size " + std::to_string(carryover_size) +
+                       " != carried " + std::to_string(flow.carried)});
+  }
+}
+
+void InvariantChecker::check_recovery(const protocol::RoundReport& report) {
+  const std::uint64_t round = report.round;
+  const auto& log = engine_.recovery_log();
+  const auto& options = engine_.options();
+  std::size_t committee_sum = 0;
+  for (const auto& stats : report.committees) {
+    committee_sum += stats.recoveries;
+    if (stats.recoveries > options.max_recoveries_per_committee) {
+      add("recovery-bounds", round,
+          "committee " + std::to_string(stats.committee) + " recovered " +
+              std::to_string(stats.recoveries) + " times (cap " +
+              std::to_string(options.max_recoveries_per_committee) + ")");
+    }
+  }
+  // (report.recoveries itself is assigned from the log's size, so the
+  // cross-check that can actually fail is per-committee counts vs log.)
+  if (committee_sum != log.size()) {
+    add("recovery-bounds", round,
+        "per-committee recoveries sum to " + std::to_string(committee_sum) +
+            ", recovery log has " + std::to_string(log.size()));
+  }
+
+  const auto& assignment = engine_.last_assignment();
+  for (const auto& event : log) {
+    if (event.round != round) {
+      add("recovery-bounds", round,
+          "recovery event carries round " + std::to_string(event.round));
+    }
+    if (!engine_.misbehaved(event.old_leader, round)) {
+      add("honest-leader-evicted", round,
+          "honest node " + std::to_string(event.old_leader) +
+              " was evicted from committee " +
+              std::to_string(event.committee));
+    }
+    if (event.committee < assignment.committees.size()) {
+      const auto& partial = assignment.committees[event.committee].partial;
+      if (std::find(partial.begin(), partial.end(), event.new_leader) ==
+          partial.end()) {
+        add("recovery-replacement", round,
+            "replacement " + std::to_string(event.new_leader) +
+                " is not in committee " + std::to_string(event.committee) +
+                "'s partial set");
+      }
+    }
+  }
+  for (net::NodeId id : engine_.convicted_leaders()) {
+    if (!engine_.misbehaved(id, round)) {
+      add("honest-leader-convicted", round,
+          "honest node " + std::to_string(id) + " was convicted");
+    }
+  }
+}
+
+void InvariantChecker::check_liveness(const protocol::RoundReport& report) {
+  const std::uint64_t round = report.round;
+  const auto& assignment = engine_.last_assignment();
+  const auto& options = engine_.options();
+  for (const auto& stats : report.committees) {
+    if (stats.committee >= assignment.committees.size()) continue;
+    const auto& info = assignment.committees[stats.committee];
+    const auto members = info.all_members();
+    std::size_t honest_active = 0;
+    for (net::NodeId id : members) {
+      if (!engine_.misbehaved(id, round) && engine_.active(id, round)) {
+        honest_active += 1;
+      }
+    }
+    if (honest_active * 2 <= members.size()) continue;  // adversarial majority
+
+    const bool leader_ok = !engine_.misbehaved(info.leader, round) &&
+                           engine_.active(info.leader, round);
+    bool recoverable = false;
+    if (options.recovery_enabled &&
+        stats.recoveries < options.max_recoveries_per_committee) {
+      for (net::NodeId id : info.partial) {
+        if (!engine_.misbehaved(id, round) && engine_.active(id, round)) {
+          recoverable = true;
+          break;
+        }
+      }
+    }
+    if ((leader_ok || recoverable) && !stats.produced_output) {
+      add("commit-or-recover", round,
+          "honest-majority committee " + std::to_string(stats.committee) +
+              " (leader " + (leader_ok ? "honest" : "faulty, recoverable") +
+              ") produced no certified output");
+    }
+  }
+}
+
+void InvariantChecker::check_reputation(const protocol::RoundReport& report) {
+  const std::uint64_t round = report.round;
+  // A vote score is a cosine in [-1, 1], so an honest node can lose at
+  // most 1 reputation per round; the cube-root conviction punishment
+  // (§VII-B) produces much larger drops at leader reputation levels.
+  // Honest nodes must never take such a cliff.
+  constexpr double kMaxHonestDrop = 1.0 + 1e-9;
+  for (std::size_t i = 0; i < engine_.node_count(); ++i) {
+    const auto id = static_cast<net::NodeId>(i);
+    const double now = engine_.reputation(id);
+    if (!engine_.misbehaved(id, round)) {
+      const double delta = now - prev_reputation_[i];
+      if (delta < -kMaxHonestDrop) {
+        add("honest-reputation-cliff", round,
+            "honest node " + std::to_string(id) + " lost " +
+                std::to_string(-delta) + " reputation in one round");
+      }
+    }
+    prev_reputation_[i] = now;
+  }
+}
+
+}  // namespace cyc::harness

@@ -1,0 +1,110 @@
+// Protocol invariant suite: paper-level properties checked against Engine
+// introspection after every completed round.
+//
+// The checker attaches to a freshly constructed Engine, mirrors the
+// genesis shard state, and replays every block it sees onto the mirror —
+// the per-shard digest comparison then catches any divergence between
+// the blocks the referee certified and the authoritative UTXO views
+// (including hand-injected corruption, which is how the suite proves
+// itself non-vacuous). Stateless per-block/per-flow checks are exposed as
+// static helpers so fault-injection tests can feed them forged data
+// directly.
+//
+// Invariants (identifier -> property):
+//   safety-invalid-committed     no ground-truth-invalid tx reaches a block
+//   chain-linkage                header chain validates, height advances by 1
+//   block-body                   retained block matches the chain tip header
+//   block-exactly-once           a committed tx appears in exactly one block
+//   double-spend                 no outpoint is spent by two committed txs
+//   spend-of-missing-output      block txs only spend outputs that exist
+//   tx-signature                 every committed tx carries a valid signature
+//   utxo-mirror-digest           shard views == independent block replay
+//   utxo-incremental-digest      O(1) rolling digest == full recomputation
+//   value-conservation           total shard value never increases
+//   flow-conservation            offered == settled + carried + dropped,
+//                                no foreign txs, carryover size matches
+//   recovery-bounds              recoveries respect the per-committee cap
+//   honest-leader-evicted        only misbehaving leaders are evicted
+//   honest-leader-convicted      only misbehaving leaders are convicted
+//   recovery-replacement         replacements come from the partial set
+//   commit-or-recover            honest-majority committees produce output
+//   honest-reputation-cliff      honest reputation never takes a conviction-
+//                                sized drop (vote scores are bounded by 1)
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ledger/block.hpp"
+#include "ledger/utxo.hpp"
+#include "protocol/engine.hpp"
+
+namespace cyc::harness {
+
+struct Violation {
+  std::string invariant;   ///< stable identifier (see table above)
+  std::uint64_t round = 0;
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  /// Attach to `engine` *before* its first run_round: the checker
+  /// snapshots the current shard state as its replay baseline.
+  explicit InvariantChecker(const protocol::Engine& engine);
+
+  /// Check every invariant against the just-completed round; returns the
+  /// number of violations this call added.
+  std::size_t check_round(const protocol::RoundReport& report);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::size_t rounds_checked() const { return rounds_checked_; }
+
+  // --- stateless helpers (fault-injection tests call these directly) ---
+
+  /// Exactly-once + double-spend + signature + spend-existence checks for
+  /// one block, against caller-owned cross-round state. `mirror` is the
+  /// pre-block shard state; the block is applied to it on the way.
+  static void check_block_txs(
+      const ledger::Block& block, std::uint32_t m,
+      std::set<std::string>& committed_ids,
+      std::unordered_set<ledger::OutPoint, ledger::OutPointHash>& spent,
+      std::vector<ledger::UtxoStore>& mirror, std::uint64_t round,
+      std::vector<Violation>& out);
+
+  /// Digest cross-check: engine state vs replayed mirror, and each
+  /// store's incremental digest vs its from-scratch recomputation.
+  static void check_state_digests(const std::vector<ledger::UtxoStore>& state,
+                                  const std::vector<ledger::UtxoStore>& mirror,
+                                  std::uint64_t round,
+                                  std::vector<Violation>& out);
+
+  /// §IV-G flow conservation for one round.
+  static void check_flow(const protocol::RoundFlow& flow,
+                         std::size_t carryover_size, std::uint64_t round,
+                         std::vector<Violation>& out);
+
+ private:
+  void check_chain(const protocol::RoundReport& report);
+  void check_recovery(const protocol::RoundReport& report);
+  void check_liveness(const protocol::RoundReport& report);
+  void check_reputation(const protocol::RoundReport& report);
+
+  void add(std::string invariant, std::uint64_t round, std::string detail) {
+    violations_.push_back({std::move(invariant), round, std::move(detail)});
+  }
+
+  const protocol::Engine& engine_;
+  std::vector<ledger::UtxoStore> mirror_;  ///< replayed shard state
+  std::set<std::string> committed_ids_;    ///< across all checked rounds
+  std::unordered_set<ledger::OutPoint, ledger::OutPointHash> spent_;
+  std::vector<double> prev_reputation_;
+  ledger::Amount prev_total_value_ = 0;
+  std::size_t base_height_ = 0;
+  std::size_t rounds_checked_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace cyc::harness

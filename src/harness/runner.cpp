@@ -1,0 +1,127 @@
+#include "harness/runner.hpp"
+
+#include "support/parallel.hpp"
+
+namespace cyc::harness {
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  protocol::Params params = spec.params;
+  params.seed = seed;
+  protocol::Engine engine(params, spec.adversary, spec.options);
+  InvariantChecker checker(engine);
+
+  ScenarioOutcome outcome;
+  outcome.scenario = spec.name;
+  outcome.seed = seed;
+  outcome.rounds = spec.rounds;
+
+  for (std::uint64_t r = 1; r <= spec.rounds; ++r) {
+    // Mid-run corruption / churn: requested at round start, effective one
+    // round later (§III-C). Targets resolve against the round's roles.
+    for (const auto& ev : spec.events) {
+      if (ev.round != r) continue;
+      net::NodeId victim = net::kNoNode;
+      switch (ev.target) {
+        case ScenarioEvent::Target::kNode:
+          if (ev.node < engine.node_count()) victim = ev.node;
+          break;
+        case ScenarioEvent::Target::kLeaderOf:
+          if (ev.committee < engine.assignment().committees.size()) {
+            victim = engine.assignment().committees[ev.committee].leader;
+          }
+          break;
+        case ScenarioEvent::Target::kRefereeAt:
+          if (!engine.assignment().referees.empty()) {
+            victim = engine.assignment()
+                         .referees[ev.committee %
+                                   engine.assignment().referees.size()];
+          }
+          break;
+      }
+      if (victim != net::kNoNode) engine.corrupt(victim, ev.behavior);
+    }
+
+    const protocol::RoundReport report = engine.run_round();
+    checker.check_round(report);
+    outcome.committed += report.txs_committed;
+    outcome.offered += report.txs_offered;
+    outcome.cross_committed += report.cross_committed;
+    outcome.recoveries += report.recoveries;
+    outcome.invalid_committed += report.invalid_committed;
+    outcome.total_fees += report.total_fees;
+  }
+  outcome.carryover = engine.carryover_size();
+  outcome.chain_height = engine.chain().height();
+  outcome.violations = checker.violations();
+  return outcome;
+}
+
+MatrixResult run_matrix(const std::vector<ScenarioSpec>& scenarios,
+                        unsigned threads) {
+  // Flatten (scenario, seed) into one job list so the pool load-balances
+  // across both axes; parallel_sweep returns results in index order, so
+  // the matrix outcome is independent of scheduling.
+  struct Job {
+    const ScenarioSpec* spec;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (const auto& spec : scenarios) {
+    for (std::uint64_t seed : spec.seeds) jobs.push_back({&spec, seed});
+  }
+
+  MatrixResult result;
+  result.outcomes = support::parallel_sweep(
+      jobs.size(),
+      [&](std::size_t i) { return run_scenario(*jobs[i].spec, jobs[i].seed); },
+      threads);
+  return result;
+}
+
+std::string matrix_json(const std::vector<ScenarioSpec>& scenarios,
+                        const MatrixResult& result) {
+  support::JsonWriter json;
+  json.begin_object();
+  json.field("harness", "scenario_matrix");
+  json.field("scenarios", static_cast<std::uint64_t>(scenarios.size()));
+  json.field("points", static_cast<std::uint64_t>(result.outcomes.size()));
+  json.field("violations",
+             static_cast<std::uint64_t>(result.total_violations()));
+  json.field("all_green", result.all_green());
+  json.key("specs");
+  json.begin_array();
+  for (const auto& spec : scenarios) spec.to_json(json);
+  json.end_array();
+  json.key("outcomes");
+  json.begin_array();
+  for (const auto& o : result.outcomes) {
+    json.begin_object();
+    json.field("scenario", o.scenario);
+    json.field("seed", o.seed);
+    json.field("rounds", static_cast<std::uint64_t>(o.rounds));
+    json.field("committed", o.committed);
+    json.field("offered", o.offered);
+    json.field("cross_committed", o.cross_committed);
+    json.field("recoveries", o.recoveries);
+    json.field("invalid_committed", o.invalid_committed);
+    json.field("carryover", o.carryover);
+    json.field("chain_height", o.chain_height);
+    json.field("total_fees", o.total_fees);
+    json.key("violations");
+    json.begin_array();
+    for (const auto& v : o.violations) {
+      json.begin_object();
+      json.field("invariant", v.invariant);
+      json.field("round", v.round);
+      json.field("detail", v.detail);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace cyc::harness

@@ -1,0 +1,60 @@
+// Seed-sweep scenario runner: executes a scenario matrix on the
+// support/parallel.hpp pool — one deterministic, single-threaded Engine
+// per (scenario, seed) point, per the §III-B simulator contract — runs
+// the full invariant suite after every round, and renders a
+// machine-readable JSON artifact of per-point outcomes + verdicts.
+//
+// The artifact is a pure function of the scenario list: it contains no
+// wall-clock or host-dependent data, so two runs of the same matrix are
+// byte-identical. That property is itself asserted by the tier-1 tests
+// and scripts/run_scenarios.sh.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/invariants.hpp"
+#include "harness/scenario.hpp"
+
+namespace cyc::harness {
+
+struct ScenarioOutcome {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t rounds = 0;
+  std::uint64_t committed = 0;          ///< total txs across all rounds
+  std::uint64_t offered = 0;
+  std::uint64_t cross_committed = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t invalid_committed = 0;  ///< safety violations (must be 0)
+  std::uint64_t carryover = 0;          ///< Remaining TX List at exit
+  std::uint64_t chain_height = 0;
+  double total_fees = 0.0;
+  std::vector<Violation> violations;
+};
+
+struct MatrixResult {
+  std::vector<ScenarioOutcome> outcomes;
+
+  std::size_t total_violations() const {
+    std::size_t total = 0;
+    for (const auto& o : outcomes) total += o.violations.size();
+    return total;
+  }
+  bool all_green() const { return total_violations() == 0; }
+};
+
+/// Run one (scenario, seed) point: fresh Engine, events applied at their
+/// rounds, invariants checked after every round.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Run every (scenario, seed) point of the matrix concurrently; results
+/// are collected in matrix order regardless of scheduling.
+MatrixResult run_matrix(const std::vector<ScenarioSpec>& scenarios,
+                        unsigned threads = 0);
+
+/// Deterministic JSON artifact (specs echoed + outcomes + verdicts).
+std::string matrix_json(const std::vector<ScenarioSpec>& scenarios,
+                        const MatrixResult& result);
+
+}  // namespace cyc::harness

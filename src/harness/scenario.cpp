@@ -1,0 +1,383 @@
+#include "harness/scenario.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace cyc::harness {
+
+namespace {
+
+using protocol::Behavior;
+using support::JsonValue;
+using support::JsonWriter;
+
+constexpr std::array<Behavior, 10> kAllBehaviors = {
+    Behavior::kHonest,       Behavior::kCrash,       Behavior::kEquivocator,
+    Behavior::kCommitForger, Behavior::kConcealer,   Behavior::kInverseVoter,
+    Behavior::kRandomVoter,  Behavior::kLazyVoter,   Behavior::kImitator,
+    Behavior::kFramer,
+};
+
+// Checked double -> unsigned conversions: a negative or out-of-range
+// number in a spec is a user error worth a diagnostic, and casting a
+// negative double to an unsigned type is undefined behaviour.
+std::uint64_t checked_u64(double value, std::string_view key) {
+  if (value < 0.0 || value > 1.8446744073709552e19) {
+    throw std::runtime_error("scenario: field '" + std::string(key) +
+                             "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::uint32_t checked_u32(double value, std::string_view key) {
+  if (value < 0.0 || value > 4294967295.0) {
+    throw std::runtime_error("scenario: field '" + std::string(key) +
+                             "' must fit in an unsigned 32-bit integer");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+std::uint64_t u64_field(const JsonValue& v, std::string_view key,
+                        std::uint64_t fallback) {
+  return checked_u64(v.number_or(key, static_cast<double>(fallback)), key);
+}
+
+std::uint32_t u32_field(const JsonValue& v, std::string_view key,
+                        std::uint32_t fallback) {
+  return checked_u32(v.number_or(key, fallback), key);
+}
+
+protocol::Params params_from_json(const JsonValue& v,
+                                  const protocol::Params& base) {
+  protocol::Params p = base;
+  p.m = u32_field(v, "m", p.m);
+  p.c = u32_field(v, "c", p.c);
+  p.lambda = u32_field(v, "lambda", p.lambda);
+  p.referee_size = u32_field(v, "referee_size", p.referee_size);
+  p.txs_per_committee = u32_field(v, "txs_per_committee", p.txs_per_committee);
+  p.cross_shard_fraction =
+      v.number_or("cross_shard_fraction", p.cross_shard_fraction);
+  p.invalid_fraction = v.number_or("invalid_fraction", p.invalid_fraction);
+  p.users = u32_field(v, "users", p.users);
+  p.capacity_min = u32_field(v, "capacity_min", p.capacity_min);
+  p.capacity_max = u32_field(v, "capacity_max", p.capacity_max);
+  p.seed = u64_field(v, "seed", p.seed);
+  p.delays.delta = v.number_or("delta", p.delays.delta);
+  p.delays.gamma = v.number_or("gamma", p.delays.gamma);
+  p.delays.jitter = v.number_or("jitter", p.delays.jitter);
+  return p;
+}
+
+protocol::AdversaryConfig adversary_from_json(const JsonValue& v) {
+  protocol::AdversaryConfig adv;
+  adv.corrupt_fraction = v.number_or("corrupt_fraction", adv.corrupt_fraction);
+  adv.forced_corrupt_leader_fraction = v.number_or(
+      "forced_corrupt_leader_fraction", adv.forced_corrupt_leader_fraction);
+  if (const JsonValue* mix = v.find("mix")) {
+    adv.mix.clear();
+    for (const auto& entry : mix->as_array()) {
+      Behavior b;
+      const std::string token = entry.string_or("behavior", "");
+      if (!behavior_from_token(token, b)) {
+        throw std::runtime_error("scenario: unknown behavior '" + token + "'");
+      }
+      adv.mix.push_back({b, entry.number_or("weight", 1.0)});
+    }
+  }
+  return adv;
+}
+
+protocol::EngineOptions options_from_json(const JsonValue& v) {
+  protocol::EngineOptions o;
+  o.recovery_enabled = v.bool_or("recovery_enabled", o.recovery_enabled);
+  o.reputation_leader_selection =
+      v.bool_or("reputation_leader_selection", o.reputation_leader_selection);
+  o.leader_bonus = v.number_or("leader_bonus", o.leader_bonus);
+  o.referee_credit = v.number_or("referee_credit", o.referee_credit);
+  o.max_recoveries_per_committee = u32_field(
+      v, "max_recoveries_per_committee", o.max_recoveries_per_committee);
+  o.extension_precommunication = v.bool_or("extension_precommunication",
+                                           o.extension_precommunication);
+  o.extension_parallel_blocks =
+      v.bool_or("extension_parallel_blocks", o.extension_parallel_blocks);
+  return o;
+}
+
+ScenarioEvent event_from_json(const JsonValue& v) {
+  ScenarioEvent ev;
+  ev.round = u64_field(v, "round", ev.round);
+  const std::string target = v.string_or("target", "node");
+  if (target == "node") {
+    ev.target = ScenarioEvent::Target::kNode;
+    ev.node = u32_field(v, "node", ev.node);
+  } else if (target == "leader-of") {
+    ev.target = ScenarioEvent::Target::kLeaderOf;
+    ev.committee = u32_field(v, "committee", ev.committee);
+  } else if (target == "referee-at") {
+    ev.target = ScenarioEvent::Target::kRefereeAt;
+    ev.committee = u32_field(v, "committee", ev.committee);
+  } else {
+    throw std::runtime_error("scenario: unknown event target '" + target + "'");
+  }
+  const std::string token = v.string_or("behavior", "crash");
+  if (!behavior_from_token(token, ev.behavior)) {
+    throw std::runtime_error("scenario: unknown behavior '" + token + "'");
+  }
+  return ev;
+}
+
+std::string_view event_target_token(ScenarioEvent::Target t) {
+  switch (t) {
+    case ScenarioEvent::Target::kNode: return "node";
+    case ScenarioEvent::Target::kLeaderOf: return "leader-of";
+    case ScenarioEvent::Target::kRefereeAt: return "referee-at";
+  }
+  return "node";
+}
+
+}  // namespace
+
+std::string_view behavior_token(Behavior b) {
+  return protocol::behavior_name(b);
+}
+
+bool behavior_from_token(std::string_view token, Behavior& out) {
+  for (Behavior b : kAllBehaviors) {
+    if (protocol::behavior_name(b) == token) {
+      out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const JsonValue& v) {
+  if (!v.is_object()) {
+    throw std::runtime_error("scenario: expected a JSON object");
+  }
+  ScenarioSpec spec;
+  spec.name = v.string_or("name", spec.name);
+  if (const JsonValue* params = v.find("params")) {
+    spec.params = params_from_json(*params, spec.params);
+  }
+  if (const JsonValue* adv = v.find("adversary")) {
+    spec.adversary = adversary_from_json(*adv);
+  }
+  if (const JsonValue* options = v.find("options")) {
+    spec.options = options_from_json(*options);
+  }
+  spec.rounds = static_cast<std::size_t>(u64_field(v, "rounds", spec.rounds));
+  if (spec.rounds == 0) throw std::runtime_error("scenario: rounds must be > 0");
+  if (const JsonValue* seeds = v.find("seeds")) {
+    spec.seeds.clear();
+    for (const auto& s : seeds->as_array()) {
+      spec.seeds.push_back(checked_u64(s.as_number(), "seeds"));
+    }
+    if (spec.seeds.empty()) {
+      throw std::runtime_error("scenario: seeds must be non-empty");
+    }
+  }
+  if (const JsonValue* events = v.find("events")) {
+    for (const auto& e : events->as_array()) {
+      spec.events.push_back(event_from_json(e));
+    }
+  }
+  return spec;
+}
+
+std::vector<ScenarioSpec> ScenarioSpec::list_from_json(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  std::vector<ScenarioSpec> specs;
+  if (doc.is_array()) {
+    for (const auto& entry : doc.as_array()) specs.push_back(from_json(entry));
+  } else if (const JsonValue* list = doc.find("scenarios")) {
+    for (const auto& entry : list->as_array()) specs.push_back(from_json(entry));
+  } else {
+    specs.push_back(from_json(doc));
+  }
+  if (specs.empty()) throw std::runtime_error("scenario: empty scenario list");
+  return specs;
+}
+
+void ScenarioSpec::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("name", name);
+  w.key("params");
+  w.begin_object();
+  w.field("m", params.m);
+  w.field("c", params.c);
+  w.field("lambda", params.lambda);
+  w.field("referee_size", params.referee_size);
+  w.field("txs_per_committee", params.txs_per_committee);
+  w.field("cross_shard_fraction", params.cross_shard_fraction);
+  w.field("invalid_fraction", params.invalid_fraction);
+  w.field("users", params.users);
+  w.field("capacity_min", params.capacity_min);
+  w.field("capacity_max", params.capacity_max);
+  w.field("delta", params.delays.delta);
+  w.field("gamma", params.delays.gamma);
+  w.field("jitter", params.delays.jitter);
+  w.end_object();
+  w.key("adversary");
+  w.begin_object();
+  w.field("corrupt_fraction", adversary.corrupt_fraction);
+  w.field("forced_corrupt_leader_fraction",
+          adversary.forced_corrupt_leader_fraction);
+  w.key("mix");
+  w.begin_array();
+  for (const auto& entry : adversary.mix) {
+    w.begin_object();
+    w.field("behavior", behavior_token(entry.behavior));
+    w.field("weight", entry.weight);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("options");
+  w.begin_object();
+  w.field("recovery_enabled", options.recovery_enabled);
+  w.field("reputation_leader_selection", options.reputation_leader_selection);
+  w.field("leader_bonus", options.leader_bonus);
+  w.field("referee_credit", options.referee_credit);
+  w.field("max_recoveries_per_committee",
+          options.max_recoveries_per_committee);
+  w.field("extension_precommunication", options.extension_precommunication);
+  w.field("extension_parallel_blocks", options.extension_parallel_blocks);
+  w.end_object();
+  w.field("rounds", static_cast<std::uint64_t>(rounds));
+  w.key("seeds");
+  w.begin_array();
+  for (std::uint64_t s : seeds) w.value(s);
+  w.end_array();
+  w.key("events");
+  w.begin_array();
+  for (const auto& ev : events) {
+    w.begin_object();
+    w.field("round", ev.round);
+    w.field("target", event_target_token(ev.target));
+    if (ev.target == ScenarioEvent::Target::kNode) {
+      w.field("node", ev.node);
+    } else {
+      w.field("committee", ev.committee);
+    }
+    w.field("behavior", behavior_token(ev.behavior));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes) {
+  auto adversaries = axes.adversaries;
+  if (adversaries.empty()) adversaries.push_back({"honest", {}});
+  auto delays = axes.delays;
+  if (delays.empty()) delays.push_back({"base", axes.base.delays});
+  auto cross = axes.cross_shard_fractions;
+  if (cross.empty()) cross.push_back(axes.base.cross_shard_fraction);
+  auto capacities = axes.capacities;
+  if (capacities.empty()) {
+    capacities.push_back({axes.base.capacity_min, axes.base.capacity_max});
+  }
+
+  std::vector<ScenarioSpec> out;
+  for (const auto& [adv_name, adv] : adversaries) {
+    for (const auto& [delay_name, delay] : delays) {
+      for (const double frac : cross) {
+        for (const auto& [cap_min, cap_max] : capacities) {
+          ScenarioSpec spec;
+          spec.params = axes.base;
+          spec.params.delays = delay;
+          spec.params.cross_shard_fraction = frac;
+          spec.params.capacity_min = cap_min;
+          spec.params.capacity_max = cap_max;
+          spec.adversary = adv;
+          spec.options = axes.options;
+          spec.rounds = axes.rounds;
+          spec.seeds = axes.seeds;
+          char frac_buf[32];
+          std::snprintf(frac_buf, sizeof(frac_buf), "%g", frac);
+          spec.name = adv_name + "/" + delay_name + "/x" + frac_buf + "/cap" +
+                      std::to_string(cap_min) + "-" + std::to_string(cap_max);
+          out.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> default_matrix() {
+  MatrixAxes axes;
+  axes.base.m = 3;
+  axes.base.c = 9;
+  axes.base.lambda = 3;
+  axes.base.referee_size = 5;
+  axes.base.txs_per_committee = 10;
+  axes.base.invalid_fraction = 0.1;
+  axes.base.users = 20 * axes.base.m;
+  axes.rounds = 2;
+  axes.seeds = {1, 2};
+
+  // Adversary axis: honest baseline, misvoting members, and the leader
+  // attacks that force the impeachment / recovery path.
+  protocol::AdversaryConfig voters;
+  voters.corrupt_fraction = 0.25;
+  voters.mix = {{protocol::Behavior::kInverseVoter, 1.0},
+                {protocol::Behavior::kRandomVoter, 1.0},
+                {protocol::Behavior::kLazyVoter, 1.0}};
+  protocol::AdversaryConfig leaders;
+  leaders.corrupt_fraction = 0.15;
+  leaders.forced_corrupt_leader_fraction = 0.67;
+  leaders.mix = {{protocol::Behavior::kCrash, 1.0},
+                 {protocol::Behavior::kEquivocator, 1.0},
+                 {protocol::Behavior::kCommitForger, 1.0},
+                 {protocol::Behavior::kConcealer, 1.0}};
+  axes.adversaries = {
+      {"honest", {}}, {"voters", voters}, {"leaders", leaders}};
+
+  // Delay axis: the paper's default regime and a slower, jitterier
+  // partial-sync regime (delivery reordering on non-key links).
+  net::DelayModel lan;  // delta 1, gamma 5, jitter 1
+  net::DelayModel jittery;
+  jittery.delta = 1.0;
+  jittery.gamma = 7.0;
+  jittery.jitter = 3.0;
+  axes.delays = {{"lan", lan}, {"jittery", jittery}};
+
+  axes.cross_shard_fractions = {0.1, 0.4};
+  // 4..16 straddles the 10-tx list length, so skewed nodes actually vote
+  // Unknown on list tails (uniform 64 never does).
+  axes.capacities = {{64, 64}, {4, 16}};
+  std::vector<ScenarioSpec> matrix = build_matrix(axes);
+
+  // Mid-run churn scenarios on top of the crossed axes: corruption
+  // requested while the run is in flight (effective one round later,
+  // §III-C), hitting a committee leader and a referee seat.
+  {
+    // An equivocating leader (crash would sit out the next selection and
+    // never regain a role; equivocators stay active, keep their
+    // reputation rank, and get re-selected — then caught).
+    ScenarioSpec churn;
+    churn.name = "churn/leader-equivocate";
+    churn.params = axes.base;
+    churn.rounds = 3;
+    churn.seeds = axes.seeds;
+    churn.events.push_back({1, ScenarioEvent::Target::kLeaderOf, 0, 0,
+                            protocol::Behavior::kEquivocator});
+    matrix.push_back(churn);
+
+    ScenarioSpec referee_churn;
+    referee_churn.name = "churn/referee-crash";
+    referee_churn.params = axes.base;
+    referee_churn.rounds = 3;
+    referee_churn.seeds = axes.seeds;
+    referee_churn.events.push_back({1, ScenarioEvent::Target::kRefereeAt, 0, 0,
+                                    protocol::Behavior::kCrash});
+    referee_churn.events.push_back({2, ScenarioEvent::Target::kRefereeAt, 0, 1,
+                                    protocol::Behavior::kCrash});
+    matrix.push_back(referee_churn);
+  }
+  return matrix;
+}
+
+}  // namespace cyc::harness

@@ -1,0 +1,93 @@
+// Declarative scenario specifications for the protocol harness.
+//
+// A ScenarioSpec bundles everything one deterministic execution needs —
+// Params, AdversaryConfig, EngineOptions, a round count, and mid-run
+// corruption / churn events — so the same scenario can be built
+// programmatically (matrix sweeps, tests) or parsed from a JSON file
+// (scenario_runner --spec). The sweep axes follow what separates sharded
+// designs in practice: adversary mix, delay regime, capacity skew and
+// cross-shard fraction.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "protocol/adversary.hpp"
+#include "protocol/engine.hpp"
+#include "protocol/params.hpp"
+#include "support/json.hpp"
+
+namespace cyc::harness {
+
+/// Mid-run corruption / churn (§III-C mildly-adaptive adversary). The
+/// event is applied via Engine::corrupt at the *start* of `round`, so the
+/// behaviour takes effect one round later, exactly as the threat model
+/// allows.
+struct ScenarioEvent {
+  enum class Target : std::uint8_t {
+    kNode,      ///< explicit node id
+    kLeaderOf,  ///< whoever leads committee `committee` when `round` starts
+    kRefereeAt, ///< referee seat `committee` (mod |C_R|) when `round` starts
+  };
+  std::uint64_t round = 1;
+  Target target = Target::kNode;
+  net::NodeId node = 0;
+  std::uint32_t committee = 0;
+  protocol::Behavior behavior = protocol::Behavior::kCrash;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  protocol::Params params;
+  protocol::AdversaryConfig adversary;
+  protocol::EngineOptions options;
+  std::size_t rounds = 2;
+  /// Each seed is an independent execution; Params::seed is overridden.
+  std::vector<std::uint64_t> seeds = {1};
+  std::vector<ScenarioEvent> events;
+
+  /// Parse one spec from a JSON object. Unknown keys are ignored; absent
+  /// keys keep their defaults, so specs stay short. Throws
+  /// std::runtime_error / support::JsonParseError on malformed input.
+  static ScenarioSpec from_json(const support::JsonValue& v);
+
+  /// Parse a document that is either one spec object or an array of
+  /// them (or an object with a "scenarios" array).
+  static std::vector<ScenarioSpec> list_from_json(std::string_view text);
+
+  /// Emit this spec as a JSON object (round-trips through from_json).
+  void to_json(support::JsonWriter& w) const;
+};
+
+/// Scenario-matrix axes. build_matrix crosses every axis; empty axes
+/// contribute the base value. Scenario names encode the axis choices so
+/// artifacts stay self-describing.
+struct MatrixAxes {
+  protocol::Params base;
+  protocol::EngineOptions options;
+  std::size_t rounds = 2;
+  std::vector<std::uint64_t> seeds = {1, 2};
+  /// (label, adversary) pairs, e.g. {"honest", {}}.
+  std::vector<std::pair<std::string, protocol::AdversaryConfig>> adversaries;
+  /// (label, delays) pairs, e.g. {"lan", DelayModel{}}.
+  std::vector<std::pair<std::string, net::DelayModel>> delays;
+  std::vector<double> cross_shard_fractions;
+  /// (capacity_min, capacity_max) pairs — vote-capacity skew axis.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> capacities;
+};
+
+std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes);
+
+/// The bounded default matrix the scenario_runner CLI and the tier-1
+/// suite execute: 3 adversary mixes x 2 delay regimes x 2 cross-shard
+/// fractions x 2 capacity skews, plus 2 mid-run churn scenarios —
+/// 26 scenarios, 2 seeds each = 52 points.
+std::vector<ScenarioSpec> default_matrix();
+
+/// Stable token for a Behavior, and the reverse lookup used by the JSON
+/// parser ("crash", "equivocator", ...). Returns false on unknown token.
+std::string_view behavior_token(protocol::Behavior b);
+bool behavior_from_token(std::string_view token, protocol::Behavior& out);
+
+}  // namespace cyc::harness

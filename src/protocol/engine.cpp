@@ -314,6 +314,7 @@ RoundReport Engine::run_round() {
   if (next_assign_.round != round_ + 1) compute_selection();  // fallback
   finalize_round(report);
 
+  last_assign_ = assign_;  // round-start roles (recovery edits committees_)
   round_ += 1;
   assign_ = next_assign_;
   randomness_ = next_randomness_;
@@ -425,12 +426,23 @@ void Engine::finalize_round(RoundReport& report) {
 
   // Append B^r to the chain (header linkage checked by Chain::append).
   {
-    const ledger::Block block = ledger::Block::build(
+    ledger::Block block = ledger::Block::build(
         chain_.tip().round + 1, chain_.tip().hash(), next_randomness_,
         committed);
     const bool ok = chain_.append(block);
     (void)ok;  // structurally guaranteed; validated again by tests
+    last_block_ = std::move(block);  // chain keeps headers only
   }
+
+  // Flow conservation counters (§IV-G): every unique offered transaction
+  // is classified exactly once — settled (reached a certified result,
+  // i.e. populates seen_ids above), carried, or dropped. Settled is
+  // counted here; carried/dropped fall out of the Remaining-TX-List pass
+  // below, which shares the same dedup set, so the accounting adds one
+  // set insert per offered tx to the existing loop rather than an extra
+  // pass over the lists.
+  last_flow_ = RoundFlow{};
+  last_flow_.committed = committed.size();
 
   // Ground-truth bookkeeping: count invalid txs that were offered but
   // correctly kept out of the block.
@@ -460,20 +472,35 @@ void Engine::finalize_round(RoundReport& report) {
   report.total_fees = total_fees;
   // Offered but unpacked valid txs form the Remaining TX List (§IV-G)
   // and are retried next round; ground-truth-invalid ones are dropped.
-  for (std::uint32_t k = 0; k < params_.m; ++k) {
-    for (const auto* list :
-         {&committees_[k].intra_list, &committees_[k].cross_list}) {
-      for (const auto& tx : *list) {
-        const auto id = tx.id();
-        const std::string key(id.begin(), id.end());
-        if (seen_ids.contains(key)) continue;
-        if (workload_->is_ground_truth_valid(id)) {
-          carryover_.push_back(tx);
-        } else {
-          workload_->mark_rejected(tx);
+  // Processed once per unique tx id (lists cannot repeat an id today —
+  // shard routing is deterministic and the workload never re-issues an
+  // in-flight tx — but the flow counters and the carryover must stay in
+  // lockstep if that ever changes).
+  {
+    std::set<std::string> flow_counted;
+    for (std::uint32_t k = 0; k < params_.m; ++k) {
+      for (const auto* list :
+           {&committees_[k].intra_list, &committees_[k].cross_list}) {
+        for (const auto& tx : *list) {
+          const auto id = tx.id();
+          const std::string key(id.begin(), id.end());
+          if (!flow_counted.insert(key).second) continue;
+          last_flow_.offered += 1;
+          if (seen_ids.contains(key)) {
+            last_flow_.settled += 1;
+            continue;
+          }
+          if (workload_->is_ground_truth_valid(id)) {
+            carryover_.push_back(tx);
+            last_flow_.carried += 1;
+          } else {
+            workload_->mark_rejected(tx);
+            last_flow_.dropped += 1;
+          }
         }
       }
     }
+    last_flow_.foreign = seen_ids.size() - last_flow_.settled;
   }
 
   // --- Reputation updates (§IV-E scores, §VII-A bonus, §VII-B punish). ---

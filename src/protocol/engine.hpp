@@ -65,6 +65,22 @@ struct EngineOptions {
   bool extension_parallel_blocks = false;
 };
 
+/// Per-round transaction flow accounting (§IV-G conservation). Every
+/// unique transaction offered in a round's TXLists ends in exactly one
+/// bucket: it reached a certified committee result (`settled`), it was
+/// valid but unpacked and moved to the Remaining TX List (`carried`), or
+/// it was ground-truth invalid and dropped (`dropped`) — so
+/// offered == settled + carried + dropped. `foreign` counts result
+/// transactions that were never offered (forgeries; must stay 0).
+struct RoundFlow {
+  std::uint64_t offered = 0;    ///< unique txs in this round's lists
+  std::uint64_t settled = 0;    ///< offered txs inside certified results
+  std::uint64_t committed = 0;  ///< txs that reached block B^r
+  std::uint64_t carried = 0;    ///< Remaining TX List for the next round
+  std::uint64_t dropped = 0;    ///< ground-truth invalid, dropped
+  std::uint64_t foreign = 0;    ///< result txs absent from every list
+};
+
 class Engine {
  public:
   Engine(Params params, AdversaryConfig adversary, EngineOptions options = {});
@@ -81,6 +97,7 @@ class Engine {
 
   // --- introspection (tests & experiments) ---
   const Params& params() const { return params_; }
+  const EngineOptions& options() const { return options_; }
   const RoundAssignment& assignment() const { return assign_; }
   std::uint64_t round() const { return round_; }
   double reputation(net::NodeId id) const { return nodes_[id].reputation; }
@@ -97,6 +114,40 @@ class Engine {
   const ledger::Chain& chain() const { return chain_; }
   const crypto::Digest& randomness() const { return randomness_; }
   std::size_t node_count() const { return nodes_.size(); }
+
+  // --- harness introspection (invariant checking, §III-C/§IV audits) ---
+  /// Leader re-selection events of the most recently completed round.
+  const std::vector<RecoveryEvent>& recovery_log() const {
+    return recovery_log_;
+  }
+  /// Transaction flow conservation counters of the last completed round.
+  const RoundFlow& last_flow() const { return last_flow_; }
+  /// Role assignment the last completed round *started* with (recovery
+  /// may have replaced leaders mid-round; `assignment()` already points
+  /// at the next round after run_round returns).
+  const RoundAssignment& last_assignment() const { return last_assign_; }
+  /// The full block B^r of the last completed round (the chain itself
+  /// only retains headers).
+  const ledger::Block& last_block() const { return last_block_; }
+  /// Leaders convicted by the referee committee in the last round.
+  const std::set<net::NodeId>& convicted_leaders() const {
+    return convicted_leaders_;
+  }
+  /// Remaining TX List size currently queued for the next round.
+  std::size_t carryover_size() const { return carryover_.size(); }
+  /// Whether `id`'s corruption was in effect during `round`.
+  bool misbehaved(net::NodeId id, std::uint64_t round) const {
+    return nodes_[id].misbehaves(round);
+  }
+  /// Whether `id` was responsive (not crashed) during `round`.
+  bool active(net::NodeId id, std::uint64_t round) const {
+    return nodes_[id].is_active(round);
+  }
+  /// Fault-injection hook for the scenario harness: mutable access to the
+  /// authoritative per-shard UTXO views, so tests can corrupt a shard
+  /// state and assert the invariant checker notices. Not used by the
+  /// protocol itself.
+  std::vector<ledger::UtxoStore>& shard_state_mut() { return shard_state_; }
 
   /// Corrupt a node at the start of the current round; the behaviour
   /// takes effect one round later (mildly-adaptive adversary, §III-C).
@@ -311,6 +362,9 @@ class Engine {
   std::unique_ptr<ledger::WorkloadGenerator> workload_;
   std::vector<ledger::UtxoStore> shard_state_;
   ledger::Chain chain_;
+  ledger::Block last_block_;       // full body of the newest chain block
+  RoundAssignment last_assign_;    // assignment the last round started with
+  RoundFlow last_flow_;            // §IV-G conservation counters
   // §IV-G Remaining TX List: valid transactions offered but not packed
   // this round are carried into the next round's lists.
   std::vector<ledger::Transaction> carryover_;

@@ -1,14 +1,25 @@
-// Minimal JSON writer for machine-readable benchmark artifacts
-// (bench/out/BENCH_*.json). Emits objects/arrays with automatic comma
-// placement; values are numbers, booleans and escaped strings. No parser
-// — the artifacts are consumed by external tooling.
+// Minimal JSON support for machine-readable artifacts.
+//
+// JsonWriter emits objects/arrays with automatic comma placement; values
+// are numbers, booleans and escaped strings. It produces the
+// bench/out/BENCH_*.json and SCENARIOS artifacts.
+//
+// JsonValue is the matching recursive-descent parser, used by the
+// scenario harness to load declarative ScenarioSpec files. It keeps the
+// same deliberately small surface: null / bool / double / string /
+// array / object (insertion-ordered). Parse errors throw
+// JsonParseError with a byte offset.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cyc::support {
@@ -131,6 +142,340 @@ class JsonWriter {
   std::string buf_;
   std::vector<bool> stack_;  // per nesting level: "has emitted an element"
   bool pending_value_ = false;
+};
+
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray,
+                                   kObject };
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered, matching what JsonWriter emitted.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const {
+    require(Kind::kBool, "bool");
+    return bool_;
+  }
+  double as_number() const {
+    require(Kind::kNumber, "number");
+    return num_;
+  }
+  const std::string& as_string() const {
+    require(Kind::kString, "string");
+    return str_;
+  }
+  const Array& as_array() const {
+    require(Kind::kArray, "array");
+    return arr_;
+  }
+  const Object& as_object() const {
+    require(Kind::kObject, "object");
+    return obj_;
+  }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Scalar conveniences with defaults, for optional spec fields.
+  double number_or(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v && v->is_number() ? v->num_ : fallback;
+  }
+  bool bool_or(std::string_view key, bool fallback) const {
+    const JsonValue* v = find(key);
+    return v && v->is_bool() ? v->bool_ : fallback;
+  }
+  std::string string_or(std::string_view key, std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v && v->is_string() ? v->str_ : fallback;
+  }
+
+  /// Parse a complete document; trailing non-space input is an error.
+  static JsonValue parse(std::string_view text) {
+    Parser p{text, 0};
+    JsonValue v = p.parse_value();
+    p.skip_ws();
+    if (p.pos != text.size()) {
+      throw JsonParseError("trailing characters after JSON value", p.pos);
+    }
+    return v;
+  }
+
+ private:
+  void require(Kind kind, const char* name) const {
+    if (kind_ != kind) {
+      throw std::runtime_error(std::string("JsonValue: not a ") + name);
+    }
+  }
+
+  struct Parser {
+    std::string_view text;
+    std::size_t pos;
+    /// Containers currently open; bounds recursion so hostile input
+    /// (e.g. 100k opening brackets) throws instead of smashing the stack.
+    int depth = 0;
+    static constexpr int kMaxDepth = 256;
+
+    [[noreturn]] void fail(const std::string& what) const {
+      throw JsonParseError(what, pos);
+    }
+    void skip_ws() {
+      while (pos < text.size()) {
+        const char c = text[pos];
+        if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+        ++pos;
+      }
+    }
+    char peek() {
+      if (pos >= text.size()) fail("unexpected end of input");
+      return text[pos];
+    }
+    void expect(char c) {
+      if (peek() != c) fail(std::string("expected '") + c + "'");
+      ++pos;
+    }
+    bool consume_literal(std::string_view lit) {
+      if (text.substr(pos, lit.size()) != lit) return false;
+      pos += lit.size();
+      return true;
+    }
+
+    JsonValue parse_value() {
+      skip_ws();
+      switch (peek()) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': {
+          JsonValue v;
+          v.kind_ = Kind::kString;
+          v.str_ = parse_string();
+          return v;
+        }
+        case 't':
+          if (!consume_literal("true")) fail("invalid literal");
+          return make_bool(true);
+        case 'f':
+          if (!consume_literal("false")) fail("invalid literal");
+          return make_bool(false);
+        case 'n':
+          if (!consume_literal("null")) fail("invalid literal");
+          return JsonValue{};
+        default: return parse_number();
+      }
+    }
+
+    static JsonValue make_bool(bool b) {
+      JsonValue v;
+      v.kind_ = Kind::kBool;
+      v.bool_ = b;
+      return v;
+    }
+
+    JsonValue parse_object() {
+      expect('{');
+      if (++depth > kMaxDepth) fail("nesting too deep");
+      JsonValue v;
+      v.kind_ = Kind::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        --depth;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.obj_.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        --depth;
+        return v;
+      }
+    }
+
+    JsonValue parse_array() {
+      expect('[');
+      if (++depth > kMaxDepth) fail("nesting too deep");
+      JsonValue v;
+      v.kind_ = Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        --depth;
+        return v;
+      }
+      while (true) {
+        v.arr_.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        --depth;
+        return v;
+      }
+    }
+
+    unsigned parse_hex4() {
+      if (pos + 4 > text.size()) fail("truncated \\u escape");
+      unsigned code = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char h = text[pos++];
+        code <<= 4;
+        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+        else fail("invalid \\u escape");
+      }
+      return code;
+    }
+
+    std::string parse_string() {
+      expect('"');
+      std::string out;
+      while (true) {
+        if (pos >= text.size()) fail("unterminated string");
+        const char c = text[pos++];
+        if (c == '"') return out;
+        if (c != '\\') {
+          out += c;
+          continue;
+        }
+        if (pos >= text.size()) fail("unterminated escape");
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = parse_hex4();
+            // Surrogate pair: a high surrogate must be followed by
+            // \uDC00-\uDFFF; the pair combines into one code point.
+            if (code >= 0xd800 && code <= 0xdbff) {
+              if (!consume_literal("\\u")) fail("unpaired high surrogate");
+              const unsigned low = parse_hex4();
+              if (low < 0xdc00 || low > 0xdfff) fail("invalid low surrogate");
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            } else if (code >= 0xdc00 && code <= 0xdfff) {
+              fail("unpaired low surrogate");
+            }
+            // The writer only escapes control characters; non-ASCII code
+            // points get a UTF-8 encoding here for completeness.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else if (code < 0x10000) {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xf0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      }
+    }
+
+    // RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    JsonValue parse_number() {
+      const std::size_t start = pos;
+      auto digit = [&](std::size_t at) {
+        return at < text.size() && text[at] >= '0' && text[at] <= '9';
+      };
+      auto eat_digits = [&] {
+        const std::size_t before = pos;
+        while (digit(pos)) ++pos;
+        return pos > before;
+      };
+      if (pos < text.size() && text[pos] == '-') ++pos;
+      if (!digit(pos)) {
+        pos = start;
+        fail("invalid number");
+      }
+      if (text[pos] == '0') {
+        ++pos;  // no leading zeros: "0" may not be followed by a digit
+        if (digit(pos)) {
+          pos = start;
+          fail("invalid number (leading zero)");
+        }
+      } else {
+        eat_digits();
+      }
+      if (pos < text.size() && text[pos] == '.') {
+        ++pos;
+        if (!eat_digits()) {
+          pos = start;
+          fail("invalid number (bare decimal point)");
+        }
+      }
+      if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+        ++pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+        if (!eat_digits()) {
+          pos = start;
+          fail("invalid number (empty exponent)");
+        }
+      }
+      JsonValue v;
+      v.kind_ = Kind::kNumber;
+      v.num_ = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                           nullptr);
+      return v;
+    }
+  };
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
 };
 
 }  // namespace cyc::support

@@ -135,6 +135,78 @@ TEST(VerifyBatch, MatchesIndividualVerdictsOnMixedBatches) {
   }
 }
 
+TEST(VerifyBatch, DuplicateSignerKeysInOneBatch) {
+  verify_cache::clear();
+  // The batched vote tally routinely sees several messages from the same
+  // signer; the aggregate must not conflate them.
+  std::vector<SignedMessage> msgs = {
+      signed_msg(50, "vote-a"), signed_msg(50, "vote-b"),
+      signed_msg(50, "vote-c"), signed_msg(51, "vote-a")};
+  std::vector<const SignedMessage*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  EXPECT_TRUE(verify_batch(ptrs));
+}
+
+TEST(VerifyBatch, IdenticalMessageTwiceInOneBatch) {
+  verify_cache::clear();
+  std::vector<SignedMessage> msgs = {signed_msg(52, "dup"),
+                                     signed_msg(52, "dup")};
+  // Same content twice -> same fingerprint; both entries must verify,
+  // first live and then entirely from the cache.
+  EXPECT_EQ(msgs[0].fingerprint(), msgs[1].fingerprint());
+  std::vector<const SignedMessage*> ptrs = {&msgs[0], &msgs[1]};
+  EXPECT_TRUE(verify_batch(ptrs));
+  const std::uint64_t misses = verify_cache::misses();
+  EXPECT_TRUE(verify_batch(ptrs));
+  EXPECT_EQ(verify_cache::misses(), misses);
+}
+
+TEST(VerifyBatch, CorruptEntryDoesNotPoisonNeighborsCache) {
+  verify_cache::clear();
+  std::vector<SignedMessage> msgs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    msgs.push_back(signed_msg(60 + i, "batched-payload"));
+  }
+  msgs[3].sig.s ^= 1;  // corrupt exactly one
+  std::vector<const SignedMessage*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  EXPECT_FALSE(verify_batch(ptrs));
+
+  // The failed aggregate fell back to per-message verification and
+  // cached *those* verdicts: every neighbour valid, the corrupt one
+  // invalid, and none of the checks below re-runs a Schnorr equation.
+  const std::uint64_t hits_before = verify_cache::hits();
+  const std::uint64_t misses_before = verify_cache::misses();
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(msgs[i].valid(), i != 3) << "message " << i;
+  }
+  EXPECT_EQ(verify_cache::hits(), hits_before + msgs.size());
+  EXPECT_EQ(verify_cache::misses(), misses_before);
+}
+
+TEST(VerifyBatch, MixedCachedAndFreshEntries) {
+  verify_cache::clear();
+  std::vector<SignedMessage> first = {signed_msg(70, "warm")};
+  EXPECT_TRUE(verify_batch({&first[0]}));
+
+  // A batch mixing the warm entry with fresh ones resolves the warm
+  // verdict from the cache and still verifies the rest.
+  std::vector<SignedMessage> second = {first[0], signed_msg(71, "cold"),
+                                       signed_msg(72, "cold")};
+  const std::uint64_t hits_before = verify_cache::hits();
+  EXPECT_TRUE(verify_batch({&second[0], &second[1], &second[2]}));
+  EXPECT_GT(verify_cache::hits(), hits_before);
+
+  // And a cached *negative* verdict fails the whole batch while the
+  // fresh neighbour still resolves to its own true verdict.
+  std::vector<SignedMessage> bad = {signed_msg(73, "neg")};
+  bad[0].sig.s ^= 1;
+  EXPECT_FALSE(verify_batch({&bad[0]}));
+  std::vector<SignedMessage> mixed = {bad[0], signed_msg(74, "fresh")};
+  EXPECT_FALSE(verify_batch({&mixed[0], &mixed[1]}));
+  EXPECT_TRUE(mixed[1].valid()) << "fresh neighbour must still verify";
+}
+
 TEST(VerifyCache, RawTripleCacheAgreesWithVerify) {
   verify_cache::clear();
   const KeyPair keys = KeyPair::from_seed(7);

@@ -1,0 +1,232 @@
+// InvariantChecker: green on honest and adversarial executions, and —
+// crucially — non-vacuous: injected violations (a hand-corrupted shard
+// UTXO view, a forged double-spend block, broken flow counters) must be
+// flagged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/invariants.hpp"
+#include "ledger/validator.hpp"
+
+namespace cyc::harness {
+namespace {
+
+using protocol::AdversaryConfig;
+using protocol::Behavior;
+using protocol::Engine;
+using protocol::Params;
+
+Params small_params(std::uint64_t seed) {
+  Params p;
+  p.m = 3;
+  p.c = 9;
+  p.lambda = 3;
+  p.referee_size = 5;
+  p.txs_per_committee = 8;
+  p.cross_shard_fraction = 0.3;
+  p.invalid_fraction = 0.15;
+  p.users = 60;
+  p.seed = seed;
+  return p;
+}
+
+bool has_invariant(const std::vector<Violation>& violations,
+                   std::string_view name) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.invariant == name; });
+}
+
+/// Deterministic key pair whose public key lives in `shard` (of `m`).
+crypto::KeyPair keypair_in_shard(ledger::ShardId shard, std::uint32_t m,
+                                 std::uint64_t salt = 0) {
+  for (std::uint64_t seed = 1 + salt * 1000; ; ++seed) {
+    crypto::KeyPair kp = crypto::KeyPair::from_seed(seed);
+    if (ledger::shard_of(kp.pk, m) == shard) return kp;
+  }
+}
+
+TEST(InvariantChecker, HonestRunStaysGreen) {
+  Engine engine(small_params(41), AdversaryConfig{});
+  InvariantChecker checker(engine);
+  for (int r = 0; r < 3; ++r) {
+    const auto report = engine.run_round();
+    EXPECT_EQ(checker.check_round(report), 0u) << "round " << report.round;
+  }
+  EXPECT_EQ(checker.rounds_checked(), 3u);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST(InvariantChecker, AdversarialRecoveryRunStaysGreen) {
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.2;
+  adv.forced_corrupt_leader_fraction = 0.67;
+  Engine engine(small_params(42), adv);
+  InvariantChecker checker(engine);
+  std::uint64_t recoveries = 0;
+  for (int r = 0; r < 2; ++r) {
+    const auto report = engine.run_round();
+    recoveries += report.recoveries;
+    EXPECT_EQ(checker.check_round(report), 0u) << "round " << report.round;
+  }
+  // The forced corrupt leaders must actually exercise the recovery path,
+  // otherwise this test proves nothing about the recovery invariants.
+  EXPECT_GE(recoveries, 1u);
+}
+
+TEST(InvariantChecker, FlagsHandCorruptedShardView) {
+  Engine engine(small_params(43), AdversaryConfig{});
+  InvariantChecker checker(engine);
+  EXPECT_EQ(checker.check_round(engine.run_round()), 0u);
+
+  // Conjure an output out of thin air in shard 0's authoritative view.
+  const auto kp = keypair_in_shard(0, engine.params().m);
+  ledger::OutPoint bogus;
+  bogus.tx = crypto::sha256(bytes_of("forged-outpoint"));
+  bogus.index = 0;
+  ASSERT_TRUE(engine.shard_state_mut()[0].add(bogus, {kp.pk, 1000}));
+
+  const auto report = engine.run_round();
+  EXPECT_GT(checker.check_round(report), 0u);
+  EXPECT_TRUE(has_invariant(checker.violations(), "utxo-mirror-digest"))
+      << "the independent block replay must notice the conjured output";
+}
+
+TEST(InvariantChecker, FlagsDroppedOutputInShardView) {
+  Engine engine(small_params(44), AdversaryConfig{});
+  InvariantChecker checker(engine);
+  EXPECT_EQ(checker.check_round(engine.run_round()), 0u);
+
+  // Silently delete an unspent output (a corrupted committee "forgetting"
+  // state it is responsible for).
+  auto& store = engine.shard_state_mut()[1];
+  const auto outpoints = store.outpoints();
+  ASSERT_FALSE(outpoints.empty());
+  ASSERT_TRUE(store.spend(outpoints.front()));
+
+  engine.run_round();
+  const auto report = engine.run_round();
+  checker.check_round(report);
+  EXPECT_TRUE(has_invariant(checker.violations(), "utxo-mirror-digest"));
+}
+
+TEST(InvariantChecker, StaticDigestCheckSeesDivergence) {
+  std::vector<ledger::UtxoStore> state, mirror;
+  state.emplace_back(0, 2);
+  mirror.emplace_back(0, 2);
+  const auto kp = keypair_in_shard(0, 2);
+  ledger::OutPoint op;
+  op.tx = crypto::sha256(bytes_of("op"));
+  ASSERT_TRUE(state[0].add(op, {kp.pk, 5}));
+
+  std::vector<Violation> out;
+  InvariantChecker::check_state_digests(state, mirror, 1, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].invariant, "utxo-mirror-digest");
+}
+
+// Build a signed transaction spending `in` to a fresh key.
+ledger::Transaction make_spend(const crypto::KeyPair& owner,
+                               const ledger::OutPoint& in,
+                               const crypto::PublicKey& to,
+                               ledger::Amount amount) {
+  ledger::Transaction tx;
+  tx.inputs = {in};
+  tx.outputs = {{to, amount}};
+  tx.spender = owner.pk;
+  ledger::sign_tx(tx, owner.sk);
+  return tx;
+}
+
+struct ForgeFixture {
+  std::uint32_t m = 2;
+  crypto::KeyPair owner = keypair_in_shard(0, 2);
+  crypto::KeyPair receiver = keypair_in_shard(1, 2, 1);
+  ledger::OutPoint funded;
+  std::set<std::string> committed_ids;
+  std::unordered_set<ledger::OutPoint, ledger::OutPointHash> spent;
+  std::vector<ledger::UtxoStore> mirror;
+
+  ForgeFixture() {
+    funded.tx = crypto::sha256(bytes_of("genesis-grant"));
+    funded.index = 0;
+    mirror.emplace_back(0, m);
+    mirror.emplace_back(1, m);
+    EXPECT_TRUE(mirror[0].add(funded, {owner.pk, 100}));
+  }
+};
+
+TEST(InvariantChecker, FlagsForgedDoubleSpendBlock) {
+  ForgeFixture fx;
+  // Two distinct, individually well-signed spends of the same outpoint.
+  const auto tx1 = make_spend(fx.owner, fx.funded, fx.receiver.pk, 90);
+  const auto tx2 = make_spend(fx.owner, fx.funded, fx.receiver.pk, 80);
+  const auto block = ledger::Block::build(1, crypto::Digest{}, crypto::Digest{},
+                                          {tx1, tx2});
+  std::vector<Violation> out;
+  InvariantChecker::check_block_txs(block, fx.m, fx.committed_ids, fx.spent,
+                                    fx.mirror, 1, out);
+  EXPECT_TRUE(has_invariant(out, "double-spend"));
+}
+
+TEST(InvariantChecker, FlagsTxCommittedTwiceAcrossBlocks) {
+  ForgeFixture fx;
+  const auto tx = make_spend(fx.owner, fx.funded, fx.receiver.pk, 90);
+  const auto b1 = ledger::Block::build(1, crypto::Digest{}, crypto::Digest{},
+                                       {tx});
+  const auto b2 = ledger::Block::build(2, b1.header.hash(), crypto::Digest{},
+                                       {tx});
+  std::vector<Violation> out;
+  InvariantChecker::check_block_txs(b1, fx.m, fx.committed_ids, fx.spent,
+                                    fx.mirror, 1, out);
+  EXPECT_TRUE(out.empty());
+  InvariantChecker::check_block_txs(b2, fx.m, fx.committed_ids, fx.spent,
+                                    fx.mirror, 2, out);
+  EXPECT_TRUE(has_invariant(out, "block-exactly-once"));
+  EXPECT_TRUE(has_invariant(out, "double-spend"));
+}
+
+TEST(InvariantChecker, FlagsTamperedSignatureAndUnknownInput) {
+  ForgeFixture fx;
+  auto tx = make_spend(fx.owner, fx.funded, fx.receiver.pk, 90);
+  tx.sig.s ^= 1;  // tamper after signing
+  ledger::OutPoint unknown;
+  unknown.tx = crypto::sha256(bytes_of("never-existed"));
+  const auto tx2 = make_spend(fx.owner, unknown, fx.receiver.pk, 10);
+  const auto block = ledger::Block::build(1, crypto::Digest{}, crypto::Digest{},
+                                          {tx, tx2});
+  std::vector<Violation> out;
+  InvariantChecker::check_block_txs(block, fx.m, fx.committed_ids, fx.spent,
+                                    fx.mirror, 1, out);
+  EXPECT_TRUE(has_invariant(out, "tx-signature"));
+  EXPECT_TRUE(has_invariant(out, "spend-of-missing-output"));
+}
+
+TEST(InvariantChecker, FlagsBrokenFlowConservation) {
+  std::vector<Violation> out;
+  protocol::RoundFlow flow;
+  flow.offered = 10;
+  flow.settled = 4;
+  flow.carried = 3;
+  flow.dropped = 2;  // 4 + 3 + 2 != 10
+  InvariantChecker::check_flow(flow, 3, 1, out);
+  EXPECT_TRUE(has_invariant(out, "flow-conservation"));
+
+  out.clear();
+  flow.dropped = 3;  // balanced again...
+  flow.foreign = 1;  // ...but a result tx was never offered
+  InvariantChecker::check_flow(flow, 3, 1, out);
+  EXPECT_TRUE(has_invariant(out, "flow-conservation"));
+
+  out.clear();
+  flow.foreign = 0;
+  InvariantChecker::check_flow(flow, 3, 1, out);
+  EXPECT_TRUE(out.empty());
+
+  // Carryover size disagreeing with the carried counter.
+  InvariantChecker::check_flow(flow, 7, 1, out);
+  EXPECT_TRUE(has_invariant(out, "flow-conservation"));
+}
+
+}  // namespace
+}  // namespace cyc::harness

@@ -1,0 +1,201 @@
+// ScenarioSpec: JSON parsing, defaults, round trip, matrix builder.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace cyc::harness {
+namespace {
+
+TEST(ScenarioSpec, DefaultsWhenFieldsAbsent) {
+  const auto specs = ScenarioSpec::list_from_json(R"({"name":"bare"})");
+  ASSERT_EQ(specs.size(), 1u);
+  const ScenarioSpec& spec = specs[0];
+  EXPECT_EQ(spec.name, "bare");
+  const protocol::Params defaults;
+  EXPECT_EQ(spec.params.m, defaults.m);
+  EXPECT_EQ(spec.params.c, defaults.c);
+  EXPECT_EQ(spec.rounds, 2u);
+  ASSERT_EQ(spec.seeds.size(), 1u);
+  EXPECT_TRUE(spec.events.empty());
+  EXPECT_TRUE(spec.options.recovery_enabled);
+}
+
+TEST(ScenarioSpec, ParsesFullSpec) {
+  const auto specs = ScenarioSpec::list_from_json(R"({
+    "name": "full",
+    "params": {"m": 4, "c": 10, "lambda": 2, "referee_size": 7,
+               "txs_per_committee": 12, "cross_shard_fraction": 0.35,
+               "invalid_fraction": 0.05, "capacity_min": 8,
+               "capacity_max": 32, "gamma": 7.5, "jitter": 2.0},
+    "adversary": {"corrupt_fraction": 0.2,
+                  "forced_corrupt_leader_fraction": 0.5,
+                  "mix": [{"behavior": "crash", "weight": 2.0},
+                          {"behavior": "inverse-voter", "weight": 1.0}]},
+    "options": {"recovery_enabled": false, "leader_bonus": 2.0,
+                "max_recoveries_per_committee": 2},
+    "rounds": 3,
+    "seeds": [7, 8, 9],
+    "events": [{"round": 2, "target": "leader-of", "committee": 1,
+                "behavior": "equivocator"},
+               {"round": 1, "target": "node", "node": 5,
+                "behavior": "lazy-voter"},
+               {"round": 3, "target": "referee-at", "committee": 0,
+                "behavior": "crash"}]
+  })");
+  ASSERT_EQ(specs.size(), 1u);
+  const ScenarioSpec& spec = specs[0];
+  EXPECT_EQ(spec.params.m, 4u);
+  EXPECT_EQ(spec.params.c, 10u);
+  EXPECT_EQ(spec.params.referee_size, 7u);
+  EXPECT_DOUBLE_EQ(spec.params.cross_shard_fraction, 0.35);
+  EXPECT_EQ(spec.params.capacity_min, 8u);
+  EXPECT_DOUBLE_EQ(spec.params.delays.gamma, 7.5);
+  EXPECT_DOUBLE_EQ(spec.adversary.corrupt_fraction, 0.2);
+  ASSERT_EQ(spec.adversary.mix.size(), 2u);
+  EXPECT_EQ(spec.adversary.mix[0].behavior, protocol::Behavior::kCrash);
+  EXPECT_DOUBLE_EQ(spec.adversary.mix[0].weight, 2.0);
+  EXPECT_FALSE(spec.options.recovery_enabled);
+  EXPECT_DOUBLE_EQ(spec.options.leader_bonus, 2.0);
+  EXPECT_EQ(spec.options.max_recoveries_per_committee, 2u);
+  EXPECT_EQ(spec.rounds, 3u);
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{7, 8, 9}));
+  ASSERT_EQ(spec.events.size(), 3u);
+  EXPECT_EQ(spec.events[0].target, ScenarioEvent::Target::kLeaderOf);
+  EXPECT_EQ(spec.events[0].committee, 1u);
+  EXPECT_EQ(spec.events[0].behavior, protocol::Behavior::kEquivocator);
+  EXPECT_EQ(spec.events[1].target, ScenarioEvent::Target::kNode);
+  EXPECT_EQ(spec.events[1].node, 5u);
+  EXPECT_EQ(spec.events[2].target, ScenarioEvent::Target::kRefereeAt);
+}
+
+TEST(ScenarioSpec, ParsesScenarioListForms) {
+  const auto array_form =
+      ScenarioSpec::list_from_json(R"([{"name":"a"},{"name":"b"}])");
+  ASSERT_EQ(array_form.size(), 2u);
+  EXPECT_EQ(array_form[0].name, "a");
+  EXPECT_EQ(array_form[1].name, "b");
+
+  const auto wrapped =
+      ScenarioSpec::list_from_json(R"({"scenarios":[{"name":"c"}]})");
+  ASSERT_EQ(wrapped.size(), 1u);
+  EXPECT_EQ(wrapped[0].name, "c");
+}
+
+TEST(ScenarioSpec, RejectsInvalidInput) {
+  EXPECT_THROW(ScenarioSpec::list_from_json("[{]"), support::JsonParseError);
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"rounds": 0})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"seeds": []})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(
+                   R"({"adversary":{"mix":[{"behavior":"nope"}]}})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(
+                   R"({"events":[{"target":"galaxy"}]})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"scenarios": []})"),
+               std::runtime_error);
+  // Negative values for unsigned fields are diagnosed, not cast.
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"seeds": [-1]})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"params": {"m": -3}})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(
+                   R"({"events":[{"round":1,"node":-2}]})"),
+               std::runtime_error);
+}
+
+TEST(ScenarioSpec, JsonRoundTrip) {
+  ScenarioSpec spec;
+  spec.name = "round-trip";
+  spec.params.m = 5;
+  spec.params.cross_shard_fraction = 0.45;
+  spec.params.delays.jitter = 2.5;
+  spec.adversary.corrupt_fraction = 0.3;
+  spec.adversary.mix = {{protocol::Behavior::kConcealer, 1.5}};
+  spec.options.recovery_enabled = false;
+  spec.rounds = 4;
+  spec.seeds = {11, 12};
+  spec.events.push_back({2, ScenarioEvent::Target::kLeaderOf, 0, 3,
+                         protocol::Behavior::kCommitForger});
+
+  support::JsonWriter w;
+  spec.to_json(w);
+  const auto parsed = ScenarioSpec::from_json(support::JsonValue::parse(w.str()));
+  EXPECT_EQ(parsed.name, spec.name);
+  EXPECT_EQ(parsed.params.m, spec.params.m);
+  EXPECT_DOUBLE_EQ(parsed.params.cross_shard_fraction,
+                   spec.params.cross_shard_fraction);
+  EXPECT_DOUBLE_EQ(parsed.params.delays.jitter, spec.params.delays.jitter);
+  EXPECT_DOUBLE_EQ(parsed.adversary.corrupt_fraction,
+                   spec.adversary.corrupt_fraction);
+  ASSERT_EQ(parsed.adversary.mix.size(), 1u);
+  EXPECT_EQ(parsed.adversary.mix[0].behavior, protocol::Behavior::kConcealer);
+  EXPECT_EQ(parsed.options.recovery_enabled, false);
+  EXPECT_EQ(parsed.rounds, spec.rounds);
+  EXPECT_EQ(parsed.seeds, spec.seeds);
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].target, ScenarioEvent::Target::kLeaderOf);
+  EXPECT_EQ(parsed.events[0].committee, 3u);
+  EXPECT_EQ(parsed.events[0].behavior, protocol::Behavior::kCommitForger);
+}
+
+TEST(ScenarioMatrix, CrossesEveryAxis) {
+  MatrixAxes axes;
+  axes.base.m = 2;
+  axes.seeds = {1, 2, 3};
+  axes.adversaries = {{"a", {}}, {"b", {}}};
+  axes.delays = {{"d1", {}}, {"d2", {}}};
+  axes.cross_shard_fractions = {0.1, 0.2};
+  axes.capacities = {{64, 64}, {4, 16}, {8, 8}};
+  const auto matrix = build_matrix(axes);
+  EXPECT_EQ(matrix.size(), 2u * 2u * 2u * 3u);
+  // Every scenario keeps the full seed list and encodes its axes.
+  for (const auto& spec : matrix) {
+    EXPECT_EQ(spec.seeds.size(), 3u);
+    EXPECT_NE(spec.name.find('/'), std::string::npos);
+  }
+  // Names are unique.
+  std::set<std::string> names;
+  for (const auto& spec : matrix) names.insert(spec.name);
+  EXPECT_EQ(names.size(), matrix.size());
+}
+
+TEST(ScenarioMatrix, EmptyAxesFallBackToBase) {
+  MatrixAxes axes;
+  axes.base.cross_shard_fraction = 0.33;
+  const auto matrix = build_matrix(axes);
+  ASSERT_EQ(matrix.size(), 1u);
+  EXPECT_DOUBLE_EQ(matrix[0].params.cross_shard_fraction, 0.33);
+}
+
+TEST(ScenarioMatrix, DefaultMatrixShape) {
+  const auto matrix = default_matrix();
+  // 3 adversary mixes x 2 delay regimes x 2 cross fractions x 2 capacity
+  // skews + 2 churn scenarios; 2 seeds each.
+  EXPECT_EQ(matrix.size(), 26u);
+  std::size_t points = 0;
+  for (const auto& spec : matrix) points += spec.seeds.size();
+  EXPECT_GE(points, 24u);
+  bool has_events = false;
+  for (const auto& spec : matrix) has_events |= !spec.events.empty();
+  EXPECT_TRUE(has_events) << "default matrix must exercise mid-run churn";
+}
+
+TEST(BehaviorTokens, RoundTripAllBehaviors) {
+  using protocol::Behavior;
+  for (Behavior b : {Behavior::kHonest, Behavior::kCrash,
+                     Behavior::kEquivocator, Behavior::kCommitForger,
+                     Behavior::kConcealer, Behavior::kInverseVoter,
+                     Behavior::kRandomVoter, Behavior::kLazyVoter,
+                     Behavior::kImitator, Behavior::kFramer}) {
+    Behavior parsed;
+    ASSERT_TRUE(behavior_from_token(behavior_token(b), parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  Behavior out;
+  EXPECT_FALSE(behavior_from_token("martian", out));
+}
+
+}  // namespace
+}  // namespace cyc::harness

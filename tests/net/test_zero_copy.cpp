@@ -3,6 +3,7 @@
 // immutable buffer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "net/simnet.hpp"
@@ -84,6 +85,65 @@ TEST(ZeroCopy, EmptyPayloadMessageHasEmptyView) {
   Message msg;
   EXPECT_TRUE(msg.payload().empty());
   EXPECT_EQ(msg.wire_size(), 16u);
+}
+
+TEST(ZeroCopy, MulticastToNobodyDeliversNothing) {
+  SimNet net = make_net(4);
+  int delivered = 0;
+  for (NodeId id = 0; id < 4; ++id) {
+    net.set_handler(id, [&](const Message&, Time) { ++delivered; });
+  }
+  const std::uint64_t allocs_before = payload_allocations();
+  net.multicast(0, {}, Tag::kConfig, Bytes(32, 0x11));
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.stats().grand_total().msgs_sent, 0u);
+  // The payload is still materialised exactly once (the shared-buffer
+  // contract does not depend on the recipient count).
+  EXPECT_EQ(payload_allocations() - allocs_before, 1u);
+}
+
+TEST(ZeroCopy, SenderInRecipientListNeverSelfDelivers) {
+  // The pseudocode's BROADCAST includes the sender in the member list;
+  // the fabric must skip the self-channel rather than loop the message
+  // back (a node already knows what it sent).
+  SimNet net = make_net(4);
+  std::vector<NodeId> deliveries;
+  for (NodeId id = 0; id < 4; ++id) {
+    net.set_handler(id, [&, id](const Message&, Time) {
+      deliveries.push_back(id);
+    });
+  }
+  std::vector<NodeId> everyone = {0, 1, 2, 3};  // sender 0 included
+  net.multicast(0, everyone, Tag::kTxList, Bytes(16, 0x22));
+  net.run();
+  std::sort(deliveries.begin(), deliveries.end());
+  EXPECT_EQ(deliveries, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(net.stats().grand_total().msgs_sent, 3u);
+}
+
+TEST(ZeroCopy, RecoveryRedoReusesTheSharedPayload) {
+  // Leader re-selection redoes leader duties mid-round: the same logical
+  // payload is multicast again (possibly several times, once per
+  // recovery attempt). Re-broadcasting an already-shared buffer must not
+  // allocate again — only the initial materialisation counts.
+  SimNet net = make_net(8);
+  std::vector<NodeId> members = {1, 2, 3, 4, 5, 6, 7};
+  int delivered = 0;
+  for (NodeId id : members) {
+    net.set_handler(id, [&](const Message&, Time) { ++delivered; });
+  }
+  const std::uint64_t allocs_before = payload_allocations();
+  const std::uint64_t bytes_before = payload_bytes_allocated();
+  const PayloadPtr payload = make_payload(Bytes(200, 0x33));
+  net.multicast_shared(0, members, Tag::kTxList, payload);   // original
+  net.multicast_shared(0, members, Tag::kTxList, payload);   // redo 1
+  net.multicast_shared(0, members, Tag::kTxList, payload);   // redo 2
+  net.run();
+  EXPECT_EQ(delivered, 21);
+  EXPECT_EQ(payload_allocations() - allocs_before, 1u);
+  EXPECT_EQ(payload_bytes_allocated() - bytes_before, 200u);
 }
 
 }  // namespace

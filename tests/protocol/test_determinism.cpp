@@ -92,6 +92,29 @@ std::vector<Bytes> run_fixture() {
   return streams;
 }
 
+// Adversarial fixture: crash + equivocating leaders with recovery
+// enabled, so the determinism gate also covers the accusation ->
+// impeachment -> prosecution -> re-selection path (Alg. 6) and the
+// convicted-leader reputation punishment.
+AdversaryConfig adversarial_config() {
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.25;
+  adv.forced_corrupt_leader_fraction = 0.67;
+  adv.mix = {{Behavior::kCrash, 1.0}, {Behavior::kEquivocator, 1.0}};
+  return adv;
+}
+
+std::vector<Bytes> run_adversarial_fixture(std::size_t* recoveries = nullptr) {
+  Engine engine(fixture_params(), adversarial_config());
+  std::vector<Bytes> streams;
+  for (int round = 0; round < 3; ++round) {
+    const RoundReport report = engine.run_round();
+    if (recoveries) *recoveries += report.recoveries;
+    streams.push_back(serialize_report(report));
+  }
+  return streams;
+}
+
 TEST(Determinism, SameSeedSameReports) {
   const auto a = run_fixture();
   const auto b = run_fixture();
@@ -111,6 +134,32 @@ TEST(Determinism, UnaffectedByWorkerThread) {
     ASSERT_EQ(streams.size(), reference.size());
     for (std::size_t i = 0; i < streams.size(); ++i) {
       EXPECT_EQ(streams[i], reference[i]) << "round " << (i + 1);
+    }
+  }
+}
+
+TEST(Determinism, AdversarialRecoveryRunsAreReproducible) {
+  std::size_t recoveries_a = 0, recoveries_b = 0;
+  const auto a = run_adversarial_fixture(&recoveries_a);
+  const auto b = run_adversarial_fixture(&recoveries_b);
+  // The fixture must actually exercise the impeachment path, or this
+  // gate is no stronger than the honest one.
+  EXPECT_GE(recoveries_a, 1u);
+  EXPECT_EQ(recoveries_a, recoveries_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "adversarial round " << (i + 1) << " diverged";
+  }
+}
+
+TEST(Determinism, AdversarialFixtureUnaffectedByWorkerThread) {
+  const auto reference = run_adversarial_fixture();
+  const auto sweeps = support::parallel_sweep(
+      4, [&](std::size_t) { return run_adversarial_fixture(); }, 4);
+  for (const auto& streams : sweeps) {
+    ASSERT_EQ(streams.size(), reference.size());
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      EXPECT_EQ(streams[i], reference[i]) << "adversarial round " << (i + 1);
     }
   }
 }

@@ -1,4 +1,5 @@
-// JsonWriter: structure, commas, escaping.
+// JsonWriter: structure, commas, escaping. JsonValue: parsing, lookup,
+// round trips with the writer, error reporting.
 #include <gtest/gtest.h>
 
 #include "support/json.hpp"
@@ -62,6 +63,126 @@ TEST(JsonWriter, EmptyContainers) {
   j.end_object();
   j.end_object();
   EXPECT_EQ(j.str(), R"({"arr":[],"obj":{}})");
+}
+
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(JsonValue::parse(R"("hi")").as_string(), "hi");
+}
+
+TEST(JsonValue, ParsesNestedStructure) {
+  const auto v = JsonValue::parse(
+      R"({"name":"x","seeds":[1,2,3],"opts":{"recovery":true},"frac":0.25})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.string_or("name", ""), "x");
+  const auto* seeds = v.find("seeds");
+  ASSERT_NE(seeds, nullptr);
+  ASSERT_EQ(seeds->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(seeds->as_array()[1].as_number(), 2.0);
+  const auto* opts = v.find("opts");
+  ASSERT_NE(opts, nullptr);
+  EXPECT_TRUE(opts->bool_or("recovery", false));
+  EXPECT_DOUBLE_EQ(v.number_or("frac", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(v.number_or("absent", 7.0), 7.0);
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  const auto v = JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonValue, RoundTripsWriterOutput) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("s", "a\"b\\c\nd\te");
+  j.key("nums");
+  j.begin_array();
+  j.value(1.5);
+  j.value(std::uint64_t{7});
+  j.end_array();
+  j.field("flag", true);
+  j.end_object();
+
+  const auto v = JsonValue::parse(j.str());
+  EXPECT_EQ(v.string_or("s", ""), "a\"b\\c\nd\te");
+  ASSERT_EQ(v.find("nums")->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.find("nums")->as_array()[0].as_number(), 1.5);
+  EXPECT_TRUE(v.bool_or("flag", false));
+}
+
+TEST(JsonValue, ParsesControlCharacterEscapes) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("ctl", std::string_view("a\x01z", 3));
+  j.end_object();
+  const auto v = JsonValue::parse(j.str());
+  EXPECT_EQ(v.string_or("ctl", ""), std::string("a\x01z", 3));
+}
+
+TEST(JsonValue, DecodesSurrogatePairs) {
+  // \ud83d\ude00 is U+1F600 (emoji, as any standard JSON serializer may
+  // emit it); it must decode to one 4-byte UTF-8 sequence, not two
+  // CESU-8-encoded surrogates.
+  const auto v = JsonValue::parse(R"("\ud83d\ude00!")");
+  EXPECT_EQ(v.as_string(), "\xf0\x9f\x98\x80!");
+  // Basic-plane escapes still work, and lone surrogates are rejected.
+  EXPECT_EQ(JsonValue::parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\ud83dA")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d\u0041")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\ude00")"), JsonParseError);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,2"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("tru"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1 2"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("nan"), JsonParseError);
+}
+
+TEST(JsonValue, EnforcesRfc8259NumberGrammar) {
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("10.25e-1").as_number(), 1.025);
+  EXPECT_THROW(JsonValue::parse("+5"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1."), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(".5"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("01"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1e"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("-"), JsonParseError);
+}
+
+TEST(JsonValue, BoundsNestingDepth) {
+  // Deep but legal nesting parses...
+  std::string ok(100, '[');
+  ok += "1";
+  ok.append(100, ']');
+  EXPECT_NO_THROW(JsonValue::parse(ok));
+  // ...while hostile input throws instead of overflowing the stack.
+  EXPECT_THROW(JsonValue::parse(std::string(100000, '[')), JsonParseError);
+  std::string objects;
+  for (int i = 0; i < 100000; ++i) objects += R"({"a":)";
+  EXPECT_THROW(JsonValue::parse(objects), JsonParseError);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const auto v = JsonValue::parse("[1]");
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_NO_THROW(v.as_array());
 }
 
 }  // namespace
