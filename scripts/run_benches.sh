@@ -13,10 +13,11 @@ BUILD_DIR="${1:-build-bench}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
-  bench_throughput_scalability bench_crossshard bench_table2_complexity
+  bench_throughput_scalability bench_crossshard bench_table2_complexity \
+  bench_epoch_transition
 
 mkdir -p bench/out
-for name in throughput_scalability crossshard table2_complexity; do
+for name in throughput_scalability crossshard table2_complexity epoch_transition; do
   echo "=== bench_${name} ==="
   "$BUILD_DIR/bench_${name}" "bench/out/BENCH_${name}.json"
   cp "bench/out/BENCH_${name}.json" "BENCH_${name}.json"

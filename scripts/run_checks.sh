@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build with AddressSanitizer + UBSan and run the tier-1
+# test suite plus the bounded default scenario matrix under
+# instrumentation. Catches memory and UB bugs the optimized builds hide.
+#
+# Usage: scripts/run_checks.sh [build-dir]   (default: build-asan)
+#
+# Exits non-zero on any build failure, test failure, sanitizer report, or
+# invariant violation in the scenario matrix.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCYC_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# halt_on_error makes UBSan findings fatal instead of log-and-continue.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+
+echo "=== tier-1 ctest (sanitized) ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo
+echo "=== scenario matrix (sanitized) ==="
+"$BUILD_DIR/scenario_runner" --out "$BUILD_DIR/SCENARIOS.asan.json"
+
+echo
+echo "sanitizer gate: ALL GREEN"

@@ -325,6 +325,9 @@ Sha256& Sha256::update_u64(std::uint64_t v) {
 }
 
 Sha256& Sha256::update(BytesView data) {
+  // An empty view may carry a null data() (e.g. a default-constructed
+  // span); memcpy with a null source is UB even at size 0.
+  if (data.empty()) return *this;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -30,13 +30,31 @@
 //   commit-or-recover            honest-majority committees produce output
 //   honest-reputation-cliff      honest reputation never takes a conviction-
 //                                sized drop (vote scores are bounded by 1)
+//
+// Epoch-boundary invariants (checked against each EpochHandoff record,
+// src/epoch/):
+//   epoch-handoff-continuity     record matches the post-reconfiguration
+//                                chain head, shard digests and randomness
+//   epoch-tx-preservation        no carried tx lost or duplicated (size +
+//                                order-sensitive digest of the Remaining
+//                                TX List)
+//   epoch-reputation-conservation surviving members' reputation carried
+//                                across exactly
+//   epoch-membership             roles drawn from the recorded members,
+//                                disjoint and correctly sized; retirees
+//                                hold no role
+//   epoch-committee-honest-majority under the threat model (> 2/3 honest
+//                                members) every re-drawn committee and
+//                                C_R keeps an honest majority
 #pragma once
 
+#include <functional>
 #include <set>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "epoch/handoff.hpp"
 #include "ledger/block.hpp"
 #include "ledger/utxo.hpp"
 #include "protocol/engine.hpp"
@@ -58,6 +76,11 @@ class InvariantChecker {
   /// Check every invariant against the just-completed round; returns the
   /// number of violations this call added.
   std::size_t check_round(const protocol::RoundReport& report);
+
+  /// Audit one epoch boundary: call right after the EpochManager produced
+  /// `handoff` (and after check_round for the epoch's last round, so the
+  /// reputation snapshot is current). Returns violations added.
+  std::size_t check_epoch_boundary(const epoch::EpochHandoff& handoff);
 
   const std::vector<Violation>& violations() const { return violations_; }
   std::size_t rounds_checked() const { return rounds_checked_; }
@@ -85,6 +108,35 @@ class InvariantChecker {
   static void check_flow(const protocol::RoundFlow& flow,
                          std::size_t carryover_size, std::uint64_t round,
                          std::vector<Violation>& out);
+
+  /// Handoff vs engine state: continuity (chain head, shard digests,
+  /// randomness), tx preservation (Remaining TX List size + digest) and
+  /// reputation conservation of surviving members. A forged record — a
+  /// dropped carried tx, an inflated reputation total, a stale chain
+  /// head — fails recomputation here.
+  static void check_handoff_state(const epoch::EpochHandoff& handoff,
+                                  const protocol::Engine& engine,
+                                  std::vector<Violation>& out);
+
+  /// Membership / role soundness of the post-boundary assignment against
+  /// the handoff's recorded membership and the protocol shape.
+  static void check_handoff_membership(const epoch::EpochHandoff& handoff,
+                                       const protocol::RoundAssignment& assign,
+                                       std::uint32_t m, std::uint32_t lambda,
+                                       std::uint32_t referee_size,
+                                       std::vector<Violation>& out);
+
+  /// Honest-majority audit of a (re-)drawn assignment. Armed only when
+  /// the overall membership satisfies the threat model (> 2/3 honest),
+  /// and — because committee security is inherently probabilistic
+  /// (Eq. 3) — a corrupt-majority group is flagged only when the exact
+  /// hypergeometric tail says a fair draw could not plausibly have
+  /// produced it (evidence of a rigged draw, not bad luck).
+  static void check_committee_honesty(
+      const protocol::RoundAssignment& assign,
+      const std::vector<net::NodeId>& members,
+      const std::function<bool(net::NodeId)>& corrupt, std::uint64_t round,
+      std::vector<Violation>& out);
 
  private:
   void check_chain(const protocol::RoundReport& report);

@@ -1,57 +1,116 @@
 #include "harness/runner.hpp"
 
+#include "epoch/manager.hpp"
 #include "support/parallel.hpp"
 
 namespace cyc::harness {
 
+namespace {
+
+// Mid-run corruption / churn: requested at round start, effective one
+// round later (§III-C). Targets resolve against the round's roles.
+void apply_events(const ScenarioSpec& spec, protocol::Engine& engine,
+                  std::uint64_t round) {
+  for (const auto& ev : spec.events) {
+    if (ev.round != round) continue;
+    net::NodeId victim = net::kNoNode;
+    switch (ev.target) {
+      case ScenarioEvent::Target::kNode:
+        if (ev.node < engine.node_count()) victim = ev.node;
+        break;
+      case ScenarioEvent::Target::kLeaderOf:
+        if (ev.committee < engine.assignment().committees.size()) {
+          victim = engine.assignment().committees[ev.committee].leader;
+        }
+        break;
+      case ScenarioEvent::Target::kRefereeAt:
+        if (!engine.assignment().referees.empty()) {
+          victim = engine.assignment()
+                       .referees[ev.committee %
+                                 engine.assignment().referees.size()];
+        }
+        break;
+    }
+    if (victim != net::kNoNode) engine.corrupt(victim, ev.behavior);
+  }
+}
+
+void accumulate(ScenarioOutcome& outcome,
+                const protocol::RoundReport& report) {
+  outcome.committed += report.txs_committed;
+  outcome.offered += report.txs_offered;
+  outcome.cross_committed += report.cross_committed;
+  outcome.recoveries += report.recoveries;
+  outcome.invalid_committed += report.invalid_committed;
+  outcome.total_fees += report.total_fees;
+}
+
+std::string digest_hex(const crypto::Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+}  // namespace
+
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
   protocol::Params params = spec.params;
   params.seed = seed;
-  protocol::Engine engine(params, spec.adversary, spec.options);
-  InvariantChecker checker(engine);
 
   ScenarioOutcome outcome;
   outcome.scenario = spec.name;
   outcome.seed = seed;
-  outcome.rounds = spec.rounds;
+  outcome.epochs = spec.epochs;
 
-  for (std::uint64_t r = 1; r <= spec.rounds; ++r) {
-    // Mid-run corruption / churn: requested at round start, effective one
-    // round later (§III-C). Targets resolve against the round's roles.
-    for (const auto& ev : spec.events) {
-      if (ev.round != r) continue;
-      net::NodeId victim = net::kNoNode;
-      switch (ev.target) {
-        case ScenarioEvent::Target::kNode:
-          if (ev.node < engine.node_count()) victim = ev.node;
-          break;
-        case ScenarioEvent::Target::kLeaderOf:
-          if (ev.committee < engine.assignment().committees.size()) {
-            victim = engine.assignment().committees[ev.committee].leader;
-          }
-          break;
-        case ScenarioEvent::Target::kRefereeAt:
-          if (!engine.assignment().referees.empty()) {
-            victim = engine.assignment()
-                         .referees[ev.committee %
-                                   engine.assignment().referees.size()];
-          }
-          break;
-      }
-      if (victim != net::kNoNode) engine.corrupt(victim, ev.behavior);
+  if (spec.epochs <= 1) {
+    // Single-epoch path: a bare Engine, bit-for-bit the pre-epoch
+    // harness behaviour.
+    protocol::Engine engine(params, spec.adversary, spec.options);
+    InvariantChecker checker(engine);
+    outcome.rounds = spec.rounds;
+    for (std::uint64_t r = 1; r <= spec.rounds; ++r) {
+      apply_events(spec, engine, r);
+      const protocol::RoundReport report = engine.run_round();
+      checker.check_round(report);
+      accumulate(outcome, report);
     }
-
-    const protocol::RoundReport report = engine.run_round();
-    checker.check_round(report);
-    outcome.committed += report.txs_committed;
-    outcome.offered += report.txs_offered;
-    outcome.cross_committed += report.cross_committed;
-    outcome.recoveries += report.recoveries;
-    outcome.invalid_committed += report.invalid_committed;
-    outcome.total_fees += report.total_fees;
+    outcome.carryover = engine.carryover_size();
+    outcome.chain_height = engine.chain().height();
+    outcome.violations = checker.violations();
+    return outcome;
   }
-  outcome.carryover = engine.carryover_size();
-  outcome.chain_height = engine.chain().height();
+
+  // Multi-epoch path: the epoch lifecycle drives the engine; every
+  // boundary's EpochHandoff is audited in addition to the per-round
+  // suite. Event rounds are absolute (continuing across boundaries).
+  epoch::EpochConfig config;
+  config.epochs = spec.epochs;
+  config.rounds_per_epoch = spec.rounds;
+  config.churn_rate = spec.churn_rate;
+  epoch::EpochManager manager(params, spec.adversary, config, spec.options);
+  InvariantChecker checker(manager.engine());
+  outcome.rounds = manager.total_rounds();
+
+  std::size_t audited = 0;
+  for (std::uint64_t r = 1; !manager.finished(); ++r) {
+    apply_events(spec, manager.engine(), r);
+    const protocol::RoundReport report = manager.run_round();
+    checker.check_round(report);
+    accumulate(outcome, report);
+    while (audited < manager.handoffs().size()) {
+      checker.check_epoch_boundary(manager.handoffs()[audited]);
+      audited += 1;
+    }
+  }
+  for (const auto& handoff : manager.handoffs()) {
+    outcome.members_joined += handoff.joined.size();
+    outcome.members_retired += handoff.retired.size();
+  }
+  outcome.boundaries = manager.handoffs().size();
+  if (!manager.handoffs().empty()) {
+    outcome.last_handoff_digest =
+        digest_hex(manager.handoffs().back().digest());
+  }
+  outcome.carryover = manager.engine().carryover_size();
+  outcome.chain_height = manager.engine().chain().height();
   outcome.violations = checker.violations();
   return outcome;
 }
@@ -107,6 +166,11 @@ std::string matrix_json(const std::vector<ScenarioSpec>& scenarios,
     json.field("carryover", o.carryover);
     json.field("chain_height", o.chain_height);
     json.field("total_fees", o.total_fees);
+    json.field("epochs", o.epochs);
+    json.field("boundaries", o.boundaries);
+    json.field("members_joined", o.members_joined);
+    json.field("members_retired", o.members_retired);
+    json.field("last_handoff_digest", o.last_handoff_digest);
     json.key("violations");
     json.begin_array();
     for (const auto& v : o.violations) {

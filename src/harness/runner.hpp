@@ -21,7 +21,7 @@ namespace cyc::harness {
 struct ScenarioOutcome {
   std::string scenario;
   std::uint64_t seed = 0;
-  std::size_t rounds = 0;
+  std::size_t rounds = 0;               ///< total rounds run (all epochs)
   std::uint64_t committed = 0;          ///< total txs across all rounds
   std::uint64_t offered = 0;
   std::uint64_t cross_committed = 0;
@@ -30,6 +30,12 @@ struct ScenarioOutcome {
   std::uint64_t carryover = 0;          ///< Remaining TX List at exit
   std::uint64_t chain_height = 0;
   double total_fees = 0.0;
+  // Epoch lifecycle (all zero / empty on single-epoch scenarios).
+  std::uint64_t epochs = 1;             ///< epochs executed
+  std::uint64_t boundaries = 0;         ///< EpochHandoff records audited
+  std::uint64_t members_joined = 0;     ///< identities admitted via PoW
+  std::uint64_t members_retired = 0;
+  std::string last_handoff_digest;      ///< hex, audit anchor ("" if none)
   std::vector<Violation> violations;
 };
 

@@ -61,6 +61,7 @@ protocol::Params params_from_json(const JsonValue& v,
   p.users = u32_field(v, "users", p.users);
   p.capacity_min = u32_field(v, "capacity_min", p.capacity_min);
   p.capacity_max = u32_field(v, "capacity_max", p.capacity_max);
+  p.standby = u32_field(v, "standby", p.standby);
   p.seed = u64_field(v, "seed", p.seed);
   p.delays.delta = v.number_or("delta", p.delays.delta);
   p.delays.gamma = v.number_or("gamma", p.delays.gamma);
@@ -168,6 +169,12 @@ ScenarioSpec ScenarioSpec::from_json(const JsonValue& v) {
   }
   spec.rounds = static_cast<std::size_t>(u64_field(v, "rounds", spec.rounds));
   if (spec.rounds == 0) throw std::runtime_error("scenario: rounds must be > 0");
+  spec.epochs = static_cast<std::size_t>(u64_field(v, "epochs", spec.epochs));
+  if (spec.epochs == 0) throw std::runtime_error("scenario: epochs must be > 0");
+  spec.churn_rate = v.number_or("churn_rate", spec.churn_rate);
+  if (spec.churn_rate < 0.0 || spec.churn_rate > 1.0) {
+    throw std::runtime_error("scenario: churn_rate must be in [0, 1]");
+  }
   if (const JsonValue* seeds = v.find("seeds")) {
     spec.seeds.clear();
     for (const auto& s : seeds->as_array()) {
@@ -214,6 +221,7 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
   w.field("users", params.users);
   w.field("capacity_min", params.capacity_min);
   w.field("capacity_max", params.capacity_max);
+  w.field("standby", params.standby);
   w.field("delta", params.delays.delta);
   w.field("gamma", params.delays.gamma);
   w.field("jitter", params.delays.jitter);
@@ -245,6 +253,8 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
   w.field("extension_parallel_blocks", options.extension_parallel_blocks);
   w.end_object();
   w.field("rounds", static_cast<std::uint64_t>(rounds));
+  w.field("epochs", static_cast<std::uint64_t>(epochs));
+  w.field("churn_rate", churn_rate);
   w.key("seeds");
   w.begin_array();
   for (std::uint64_t s : seeds) w.value(s);
@@ -278,27 +288,63 @@ std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes) {
   if (capacities.empty()) {
     capacities.push_back({axes.base.capacity_min, axes.base.capacity_max});
   }
+  // The newer axes keep legacy scenario names stable: an empty axis
+  // contributes the base value and no name segment.
+  const bool shapes_swept = !axes.committee_shapes.empty();
+  auto shapes = axes.committee_shapes;
+  if (shapes.empty()) shapes.push_back({axes.base.m, axes.base.c});
+  const bool invalid_swept = !axes.invalid_fractions.empty();
+  auto invalids = axes.invalid_fractions;
+  if (invalids.empty()) invalids.push_back(axes.base.invalid_fraction);
+  const bool epochs_swept = !axes.epoch_points.empty();
+  auto epoch_points = axes.epoch_points;
+  if (epoch_points.empty()) epoch_points.push_back({1, 0.0});
+
+  const auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+  };
 
   std::vector<ScenarioSpec> out;
   for (const auto& [adv_name, adv] : adversaries) {
     for (const auto& [delay_name, delay] : delays) {
       for (const double frac : cross) {
         for (const auto& [cap_min, cap_max] : capacities) {
-          ScenarioSpec spec;
-          spec.params = axes.base;
-          spec.params.delays = delay;
-          spec.params.cross_shard_fraction = frac;
-          spec.params.capacity_min = cap_min;
-          spec.params.capacity_max = cap_max;
-          spec.adversary = adv;
-          spec.options = axes.options;
-          spec.rounds = axes.rounds;
-          spec.seeds = axes.seeds;
-          char frac_buf[32];
-          std::snprintf(frac_buf, sizeof(frac_buf), "%g", frac);
-          spec.name = adv_name + "/" + delay_name + "/x" + frac_buf + "/cap" +
-                      std::to_string(cap_min) + "-" + std::to_string(cap_max);
-          out.push_back(std::move(spec));
+          for (const auto& [m, c] : shapes) {
+            for (const double invalid : invalids) {
+              for (const auto& [epochs, churn] : epoch_points) {
+                ScenarioSpec spec;
+                spec.params = axes.base;
+                spec.params.delays = delay;
+                spec.params.cross_shard_fraction = frac;
+                spec.params.capacity_min = cap_min;
+                spec.params.capacity_max = cap_max;
+                spec.params.m = m;
+                spec.params.c = c;
+                spec.params.invalid_fraction = invalid;
+                spec.adversary = adv;
+                spec.options = axes.options;
+                spec.rounds = axes.rounds;
+                spec.epochs = epochs;
+                spec.churn_rate = churn;
+                spec.seeds = axes.seeds;
+                spec.name = adv_name + "/" + delay_name + "/x" + fmt(frac) +
+                            "/cap" + std::to_string(cap_min) + "-" +
+                            std::to_string(cap_max);
+                if (shapes_swept) {
+                  spec.name += "/m" + std::to_string(m) + "c" +
+                               std::to_string(c);
+                }
+                if (invalid_swept) spec.name += "/inv" + fmt(invalid);
+                if (epochs_swept) {
+                  spec.name += "/e" + std::to_string(epochs) + "ch" +
+                               fmt(churn);
+                }
+                out.push_back(std::move(spec));
+              }
+            }
+          }
         }
       }
     }
@@ -376,6 +422,52 @@ std::vector<ScenarioSpec> default_matrix() {
     referee_churn.events.push_back({2, ScenarioEvent::Target::kRefereeAt, 0, 1,
                                     protocol::Behavior::kCrash});
     matrix.push_back(referee_churn);
+  }
+
+  // Committee-shape point: more, smaller committees than the base shape
+  // (the c/m axis ROADMAP listed as unswept) — committee configuration,
+  // sortition spread and the cross-shard mesh all scale with m.
+  {
+    ScenarioSpec shape;
+    shape.name = "shape/m4c6";
+    shape.params = axes.base;
+    shape.params.m = 4;
+    shape.params.c = 6;
+    shape.params.lambda = 2;
+    shape.params.users = 20 * shape.params.m;
+    shape.rounds = 2;
+    shape.seeds = axes.seeds;
+    matrix.push_back(shape);
+  }
+
+  // High invalid-fraction point: a third of the offered workload is
+  // ground-truth invalid, so the §IV-G drop path (and with it flow
+  // conservation at dropped > 0) is exercised, not just the happy path.
+  {
+    ScenarioSpec invalid;
+    invalid.name = "invalid/x0.3";
+    invalid.params = axes.base;
+    invalid.params.invalid_fraction = 0.3;
+    invalid.rounds = 2;
+    invalid.seeds = axes.seeds;
+    matrix.push_back(invalid);
+  }
+
+  // Multi-epoch point: three epochs with PoW identity churn across a
+  // standby pool, under the default matrix's misvoting adversary mix —
+  // every boundary is audited via its EpochHandoff (continuity, tx
+  // preservation, reputation conservation, honest-majority committees).
+  {
+    ScenarioSpec epochs;
+    epochs.name = "epoch/churn0.2";
+    epochs.params = axes.base;
+    epochs.params.standby = 8;
+    epochs.rounds = 2;
+    epochs.epochs = 3;
+    epochs.churn_rate = 0.2;
+    epochs.adversary = voters;
+    epochs.seeds = axes.seeds;
+    matrix.push_back(epochs);
   }
   return matrix;
 }

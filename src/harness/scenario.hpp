@@ -42,7 +42,17 @@ struct ScenarioSpec {
   protocol::Params params;
   protocol::AdversaryConfig adversary;
   protocol::EngineOptions options;
+  /// Rounds per epoch (the plain round count while epochs == 1).
   std::size_t rounds = 2;
+  /// Epoch count. > 1 switches the runner onto the epoch lifecycle
+  /// (src/epoch/): `rounds` rounds per epoch, a PoW-churn + PVSS-beacon +
+  /// reconfiguration boundary between epochs, and the epoch invariants
+  /// checked on every EpochHandoff. Provision `params.standby` for the
+  /// join pool when churn_rate > 0.
+  std::size_t epochs = 1;
+  /// Fraction of the membership replaced per epoch boundary (subject to
+  /// the manager's bounded-churn budget).
+  double churn_rate = 0.0;
   /// Each seed is an independent execution; Params::seed is overridden.
   std::vector<std::uint64_t> seeds = {1};
   std::vector<ScenarioEvent> events;
@@ -75,14 +85,23 @@ struct MatrixAxes {
   std::vector<double> cross_shard_fractions;
   /// (capacity_min, capacity_max) pairs — vote-capacity skew axis.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> capacities;
+  /// (m, c) pairs — committee count / size scaling inside one matrix.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> committee_shapes;
+  /// Ground-truth-invalid workload fractions (flow-conservation stress).
+  std::vector<double> invalid_fractions;
+  /// (epochs, churn_rate) pairs — the epoch lifecycle axis. Points with
+  /// epochs > 1 run under the EpochManager; `base.standby` sizes the
+  /// join pool.
+  std::vector<std::pair<std::size_t, double>> epoch_points;
 };
 
 std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes);
 
 /// The bounded default matrix the scenario_runner CLI and the tier-1
 /// suite execute: 3 adversary mixes x 2 delay regimes x 2 cross-shard
-/// fractions x 2 capacity skews, plus 2 mid-run churn scenarios —
-/// 26 scenarios, 2 seeds each = 52 points.
+/// fractions x 2 capacity skews, plus mid-run churn, committee-shape
+/// (m/c), high-invalid-fraction and multi-epoch (3 epochs, PoW identity
+/// churn) scenarios — 2 seeds each.
 std::vector<ScenarioSpec> default_matrix();
 
 /// Stable token for a Behavior, and the reverse lookup used by the JSON

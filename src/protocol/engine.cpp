@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "crypto/merkle.hpp"
@@ -48,13 +49,17 @@ Engine::Engine(Params params, AdversaryConfig adversary, EngineOptions options)
 Engine::~Engine() = default;
 
 void Engine::build_nodes() {
-  const std::uint32_t n = params_.total_nodes();
+  // The universe is the active seats plus the standby pool; standby
+  // identities exist (keys, capacity, possibly a genesis corruption) but
+  // are not enrolled until an epoch boundary admits them.
+  const std::uint32_t n = params_.universe();
   nodes_.resize(n);
   rng::Stream keys_rng = rng_.fork("keys");
   rng::Stream cap_rng = rng_.fork("capacity");
   for (std::uint32_t i = 0; i < n; ++i) {
     NodeState& node = nodes_[i];
     node.id = i;
+    node.enrolled = i < params_.total_nodes();
     rng::Stream kr = keys_rng.fork(i);
     node.keys = crypto::KeyPair::generate(kr);
     node.capacity = static_cast<std::uint32_t>(cap_rng.range(
@@ -79,10 +84,9 @@ void Engine::build_nodes() {
 void Engine::assign_genesis_roles() {
   assign_ = RoundAssignment{};
   assign_.round = 1;
-  std::vector<net::NodeId> order(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    order[i] = static_cast<net::NodeId>(i);
-  }
+  // Only the enrolled membership takes part; standby identities wait for
+  // an epoch boundary.
+  std::vector<net::NodeId> order = members();
   rng::Stream role_rng = rng_.fork("genesis-roles");
   rng::shuffle(order, role_rng);
 
@@ -195,6 +199,56 @@ std::size_t Engine::instance_size(std::uint32_t scope) const {
 void Engine::corrupt(net::NodeId id, Behavior behavior) {
   nodes_[id].behavior = behavior;
   nodes_[id].corrupted_at = round_;  // takes effect from round_+1
+}
+
+std::vector<net::NodeId> Engine::members() const {
+  std::vector<net::NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (n.enrolled) out.push_back(n.id);
+  }
+  return out;
+}
+
+void Engine::reconfigure(const Reconfiguration& reconfig) {
+  const std::size_t need =
+      params_.referee_size +
+      static_cast<std::size_t>(params_.m) * (1 + params_.lambda);
+  std::set<net::NodeId> unique(reconfig.members.begin(),
+                               reconfig.members.end());
+  if (unique.size() != reconfig.members.size()) {
+    throw std::invalid_argument("reconfigure: duplicate member ids");
+  }
+  if (unique.size() < need) {
+    throw std::invalid_argument(
+        "reconfigure: membership smaller than the role floor (" +
+        std::to_string(unique.size()) + " < " + std::to_string(need) + ")");
+  }
+  for (net::NodeId id : unique) {
+    if (id >= nodes_.size()) {
+      throw std::invalid_argument("reconfigure: unknown node id " +
+                                  std::to_string(id));
+    }
+  }
+
+  for (auto& n : nodes_) n.enrolled = false;
+  for (net::NodeId id : unique) nodes_[id].enrolled = true;
+
+  // Canonical participant order (node id); the draw itself is a pure
+  // function of (membership, randomness, reputations).
+  const std::vector<net::NodeId> participants(unique.begin(), unique.end());
+  std::optional<rng::Stream> uniform;
+  if (!options_.reputation_leader_selection) {
+    uniform = rng_.fork("epoch-uniform-leaders").fork(reconfig.epoch);
+  }
+  randomness_ = reconfig.randomness;
+  assign_ = draw_assignment(
+      participants, round_, randomness_,
+      [this](net::NodeId id) { return nodes_[id].reputation; },
+      uniform ? &*uniform : nullptr);
+  // Ledger state (chain_, shard_state_, carryover_, workload_),
+  // reputations and rewards deliberately survive untouched — that is the
+  // contract the EpochHandoff audit checks.
 }
 
 void Engine::start_round_state() {
@@ -527,13 +581,22 @@ void Engine::finalize_round(RoundReport& report) {
   }
 
   // --- Reward distribution proportional to g(reputation) (Eq. 2). ---
+  // Only the enrolled membership shares the fees; standby / retired
+  // identities took no part in the round (g(0) = 1 would otherwise let
+  // them free-ride on every block).
+  std::vector<net::NodeId> earners;
   std::vector<double> reputations;
+  earners.reserve(nodes_.size());
   reputations.reserve(nodes_.size());
-  for (const auto& n : nodes_) reputations.push_back(n.reputation);
+  for (const auto& n : nodes_) {
+    if (!n.enrolled) continue;
+    earners.push_back(n.id);
+    reputations.push_back(n.reputation);
+  }
   const std::vector<double> rewards =
       distribute_rewards(reputations, total_fees);
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i].reward += rewards[i];
+  for (std::size_t i = 0; i < earners.size(); ++i) {
+    nodes_[earners[i]].reward += rewards[i];
   }
 
   // --- Traffic / storage accounting by role. ---
@@ -578,22 +641,16 @@ void Engine::compute_selection() {
                                         registered_.end());
   if (participants.size() <
       params_.referee_size + params_.m * (1 + params_.lambda)) {
-    // Degenerate fallback (tiny tests): everyone active participates.
+    // Degenerate fallback (tiny tests): every active member participates.
     participants.clear();
     for (const auto& n : nodes_) {
-      if (n.is_active(round_ + 1)) participants.push_back(n.id);
+      if (n.enrolled && n.is_active(round_ + 1)) participants.push_back(n.id);
     }
   }
 
-  next_assign_ = RoundAssignment{};
-  next_assign_.round = round_ + 1;
-
-  std::set<net::NodeId> taken;
-
-  // Leaders: the m participants with the highest reputation (§IV-F), or a
-  // uniform draw for the ablation. Selection happens after the
-  // reputation-updating phase, so this round's scores (and any pending
-  // conviction punishment) are already reflected.
+  // Leader selection happens after the reputation-updating phase, so this
+  // round's scores (and any pending conviction punishment) are already
+  // reflected.
   auto effective_rep = [this](net::NodeId id) {
     if (convicted_leaders_.contains(id)) {
       return punish_leader(nodes_[id].reputation);
@@ -603,22 +660,41 @@ void Engine::compute_selection() {
     if (it != pending_scores_.end()) rep += it->second;
     return rep;
   };
+  std::optional<rng::Stream> uniform;
+  if (!options_.reputation_leader_selection) {
+    uniform = rng_.fork("uniform-leaders").fork(round_);
+  }
+  next_assign_ = draw_assignment(participants, round_ + 1, next_randomness_,
+                                 effective_rep, uniform ? &*uniform : nullptr);
+}
+
+template <typename RepFn>
+RoundAssignment Engine::draw_assignment(
+    const std::vector<net::NodeId>& participants, std::uint64_t next_round,
+    const crypto::Digest& randomness, RepFn&& reputation_of,
+    rng::Stream* uniform_leaders) {
+  RoundAssignment next;
+  next.round = next_round;
+
+  std::set<net::NodeId> taken;
+
+  // Leaders: the m participants with the highest reputation (§IV-F), or a
+  // uniform draw for the ablation.
   std::vector<net::NodeId> by_rep = participants;
-  if (options_.reputation_leader_selection) {
+  if (uniform_leaders == nullptr) {
     std::sort(by_rep.begin(), by_rep.end(),
               [&](net::NodeId a, net::NodeId b) {
-      const double ra = effective_rep(a), rb = effective_rep(b);
+      const double ra = reputation_of(a), rb = reputation_of(b);
       if (ra != rb) return ra > rb;
       return nodes_[a].keys.pk.y < nodes_[b].keys.pk.y;
     });
   } else {
-    rng::Stream pick = rng_.fork("uniform-leaders").fork(round_);
-    rng::shuffle(by_rep, pick);
+    rng::shuffle(by_rep, *uniform_leaders);
   }
-  next_assign_.committees.resize(params_.m);
+  next.committees.resize(params_.m);
   for (std::uint32_t k = 0; k < params_.m; ++k) {
-    next_assign_.committees[k].id = k;
-    next_assign_.committees[k].leader = by_rep[k];
+    next.committees[k].id = k;
+    next.committees[k].leader = by_rep[k];
     taken.insert(by_rep[k]);
   }
 
@@ -630,16 +706,15 @@ void Engine::compute_selection() {
     for (net::NodeId id : participants) {
       if (taken.contains(id)) continue;
       ranked.emplace_back(
-          role_hash(round_ + 1, next_randomness_, nodes_[id].keys.pk, role),
-          id);
+          role_hash(next_round, randomness, nodes_[id].keys.pk, role), id);
     }
     std::sort(ranked.begin(), ranked.end());
     return ranked;
   };
 
   for (const auto& [h, id] : rank_by_role(kRoleReferee)) {
-    if (next_assign_.referees.size() >= params_.referee_size) break;
-    next_assign_.referees.push_back(id);
+    if (next.referees.size() >= params_.referee_size) break;
+    next.referees.push_back(id);
     taken.insert(id);
   }
 
@@ -650,12 +725,12 @@ void Engine::compute_selection() {
     for (const auto& [h, id] : rank_by_role(kRolePartial)) {
       bool placed = false;
       std::uint32_t want =
-          partial_committee(round_ + 1, next_randomness_, nodes_[id].keys.pk,
+          partial_committee(next_round, randomness, nodes_[id].keys.pk,
                             params_.m);
       for (std::uint32_t off = 0; off < params_.m; ++off) {
         const std::uint32_t k = (want + off) % params_.m;
         if (room[k] > 0) {
-          next_assign_.committees[k].partial.push_back(id);
+          next.committees[k].partial.push_back(id);
           room[k] -= 1;
           taken.insert(id);
           placed = true;
@@ -672,9 +747,10 @@ void Engine::compute_selection() {
   for (net::NodeId id : participants) {
     if (taken.contains(id)) continue;
     NodeState& n = nodes_[id];
-    n.ticket = crypto_sort(n.keys, round_ + 1, next_randomness_, params_.m);
-    next_assign_.committees[n.ticket.committee].commons.push_back(id);
+    n.ticket = crypto_sort(n.keys, next_round, randomness, params_.m);
+    next.committees[n.ticket.committee].commons.push_back(id);
   }
+  return next;
 }
 
 }  // namespace cyc::protocol

@@ -65,6 +65,18 @@ struct EngineOptions {
   bool extension_parallel_blocks = false;
 };
 
+/// Mid-run reconfiguration request (epoch boundary, §IV-F / src/epoch/).
+/// The engine re-draws every role over `members` with the supplied epoch
+/// randomness — leaders by reputation rank (or the uniform ablation),
+/// referees / partial sets by the role-hash lottery, commons by
+/// cryptographic sortition — without touching the chain, the per-shard
+/// UTXO views, the Remaining TX List or any node's reputation.
+struct Reconfiguration {
+  std::uint64_t epoch = 0;              ///< epoch being entered (audit only)
+  std::vector<net::NodeId> members;     ///< new enrolled membership
+  crypto::Digest randomness{};          ///< epoch randomness R^e
+};
+
 /// Per-round transaction flow accounting (§IV-G conservation). Every
 /// unique transaction offered in a round's TXLists ends in exactly one
 /// bucket: it reached a certified committee result (`settled`), it was
@@ -149,9 +161,30 @@ class Engine {
   /// protocol itself.
   std::vector<ledger::UtxoStore>& shard_state_mut() { return shard_state_; }
 
+  /// Whether `id` is currently enrolled (an active member, as opposed to
+  /// a standby / retired identity that sits out every round).
+  bool enrolled(net::NodeId id) const { return nodes_[id].enrolled; }
+  /// Currently enrolled membership, in node-id order.
+  std::vector<net::NodeId> members() const;
+  const crypto::PublicKey& public_key(net::NodeId id) const {
+    return nodes_[id].keys.pk;
+  }
+  /// The Remaining TX List queued for the next round (§IV-G) — the
+  /// cross-epoch handoff audits its content, not just its size.
+  const std::vector<ledger::Transaction>& carryover() const {
+    return carryover_;
+  }
+
   /// Corrupt a node at the start of the current round; the behaviour
   /// takes effect one round later (mildly-adaptive adversary, §III-C).
   void corrupt(net::NodeId id, Behavior behavior);
+
+  /// Epoch-boundary entry point: install a new membership set and re-draw
+  /// every role from the epoch randomness, keeping all ledger state.
+  /// Call between rounds only. Throws std::invalid_argument when the
+  /// membership is too small to fill the referee committee and m
+  /// committees, repeats ids, or names unknown nodes.
+  void reconfigure(const Reconfiguration& reconfig);
 
  private:
   // ---- per-node state ----
@@ -163,6 +196,9 @@ class Engine {
     std::uint32_t capacity = 0;
     Behavior behavior = Behavior::kHonest;
     std::uint64_t corrupted_at = ~0ull;
+    /// Active member of the current epoch; standby / retired identities
+    /// keep their keys and reputation but take part in nothing.
+    bool enrolled = true;
 
     // per-round
     Role role = Role::kCommon;
@@ -345,6 +381,18 @@ class Engine {
   /// §IV-F selection: beacon + next-round roles; runs during the
   /// selection phase so the block can reference the next assignment.
   void compute_selection();
+  /// Shared role draw (§IV-F) over an explicit participant list: leaders
+  /// by `reputation_of` rank (or shuffled by `uniform_leaders` for the
+  /// E12 ablation), referees / partial sets by the role-hash lottery,
+  /// everyone else by cryptographic sortition (which also refreshes the
+  /// nodes' membership tickets for `next_round`). Used by the per-round
+  /// selection and by reconfigure().
+  template <typename RepFn>
+  RoundAssignment draw_assignment(const std::vector<net::NodeId>& participants,
+                                  std::uint64_t next_round,
+                                  const crypto::Digest& randomness,
+                                  RepFn&& reputation_of,
+                                  rng::Stream* uniform_leaders);
   double storage_proxy(const NodeState& n) const;
 
   // ---- data ----

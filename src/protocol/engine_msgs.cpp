@@ -146,6 +146,7 @@ void Engine::phase_selection(net::Time at) {
               crypto::digest_to_bytes(randomness_)});
   const std::uint64_t target = crypto::pow_target_for_bits(params_.pow_bits);
   for (auto& n : nodes_) {
+    if (!n.enrolled) continue;               // standby identities sit out
     if (!n.is_active(round_ + 1)) continue;  // crashed nodes sit out
     const Bytes per_node = concat({challenge, be64(n.keys.pk.y)});
     const auto solution = crypto::pow_solve(per_node, target, 0, 1u << 20);
@@ -240,6 +241,9 @@ void Engine::handle(net::NodeId id, const net::Message& msg, net::Time now) {
       case net::Tag::kPowSolution: {
         if (self.role != Role::kReferee) break;
         const auto pow = wire::PowMsg::deserialize(msg.payload());
+        // Referees only register the current membership; a standby or
+        // retired identity must re-enter through the epoch join puzzle.
+        if (pow.node >= nodes_.size() || !nodes_[pow.node].enrolled) break;
         const Bytes challenge =
             concat({bytes_of("cyc.round"), be64(round_),
                     crypto::digest_to_bytes(randomness_), be64(pow.pk.y)});

@@ -33,6 +33,13 @@ struct Params {
   /// default so simulations stay fast).
   unsigned pow_bits = 8;
 
+  /// Extra nodes in the simulated universe beyond the `total_nodes()`
+  /// active seats. Standby nodes hold keys but are not enrolled: they sit
+  /// out every round until an epoch boundary admits them (solving the
+  /// identity PoW puzzle, src/epoch/). 0 keeps the pre-epoch behaviour
+  /// bit-for-bit.
+  std::uint32_t standby = 0;
+
   /// Phase schedule (in units of the intra-committee bound Delta), per
   /// the paper's recommendation that semi-commitment exchange starts 8
   /// Delta after configuration.
@@ -47,6 +54,8 @@ struct Params {
   std::uint64_t seed = 1;
 
   std::uint32_t total_nodes() const { return referee_size + m * c; }
+  /// Active seats plus the standby pool (the full simulated universe).
+  std::uint32_t universe() const { return total_nodes() + standby; }
 };
 
 }  // namespace cyc::protocol

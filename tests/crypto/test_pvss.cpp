@@ -75,6 +75,99 @@ TEST(Pvss, WrongIndexDetected) {
   EXPECT_FALSE(pvss_verify_share(dealing.commitments, bad));
 }
 
+TEST(Pvss, MaxThresholdNeedsEveryShare) {
+  // t = participants - 1 is the boundary: all shares are required, one
+  // fewer (threshold-1 shares... threshold shares) must fail.
+  rng::Stream rng(40);
+  const std::uint64_t secret = 888;
+  const auto dealing = pvss_deal(secret, 5, 4, rng);
+  const auto full = pvss_reconstruct(dealing.shares, 4);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, secret);
+  std::vector<PvssShare> missing_one(dealing.shares.begin(),
+                                     dealing.shares.end() - 1);
+  EXPECT_FALSE(pvss_reconstruct(missing_one, 4).has_value());
+}
+
+TEST(Pvss, ThresholdOneReconstruction) {
+  // t = 1: any two distinct shares recover the line's intercept; one
+  // share (or two copies of the same share) reveals nothing.
+  rng::Stream rng(41);
+  const std::uint64_t secret = 4242;
+  const auto dealing = pvss_deal(secret, 6, 1, rng);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      const auto got =
+          pvss_reconstruct({dealing.shares[i], dealing.shares[j]}, 1);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, secret);
+    }
+  }
+  EXPECT_FALSE(pvss_reconstruct({dealing.shares[0]}, 1).has_value());
+  EXPECT_FALSE(
+      pvss_reconstruct({dealing.shares[0], dealing.shares[0]}, 1).has_value());
+}
+
+TEST(Pvss, MixedDealingSharesFailCommitmentCheck) {
+  // Shares from two different dealers interpolate to garbage; the
+  // commitment check C_0 = g^secret catches the cross-contamination even
+  // though every share is individually well-formed under its own dealer.
+  rng::Stream rng(42);
+  const auto a = pvss_deal(1111, 7, 3, rng);
+  const auto b = pvss_deal(2222, 7, 3, rng);
+  std::vector<PvssShare> mixed = {a.shares[0], a.shares[1], b.shares[2],
+                                  b.shares[3]};
+  const auto got = pvss_reconstruct(mixed, 3);
+  ASSERT_TRUE(got.has_value());  // interpolation itself succeeds...
+  EXPECT_NE(g_pow(*got), pvss_committed_secret(a.commitments));
+  EXPECT_NE(g_pow(*got), pvss_committed_secret(b.commitments));
+  // ...and the foreign shares fail public verification against either
+  // dealer's commitments, so an honest verifier never mixes them.
+  EXPECT_FALSE(pvss_verify_share(a.commitments, b.shares[2]));
+  EXPECT_FALSE(pvss_verify_share(b.commitments, a.shares[0]));
+}
+
+TEST(Pvss, TamperedShareFilteredThenReconstruct) {
+  // The verify-then-reconstruct pipeline every holder runs: a tampered
+  // share is rejected by the public check and reconstruction proceeds
+  // from the remaining valid shares.
+  rng::Stream rng(43);
+  const std::uint64_t secret = 31415;
+  auto dealing = pvss_deal(secret, 7, 3, rng);
+  dealing.shares[2].value = add_q(dealing.shares[2].value, 5);  // tamper
+  std::vector<PvssShare> valid;
+  for (const auto& share : dealing.shares) {
+    if (pvss_verify_share(dealing.commitments, share)) valid.push_back(share);
+  }
+  EXPECT_EQ(valid.size(), 6u);
+  const auto got = pvss_reconstruct(valid, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, secret);
+  EXPECT_EQ(g_pow(*got), pvss_committed_secret(dealing.commitments));
+}
+
+TEST(Beacon, DuplicateDealerSecretsBothCount) {
+  // Two dealers contributing the same secret are still two dealers: the
+  // duplicate is not silently deduplicated (each dealt sharing is an
+  // independent polynomial), so the summed output differs from the
+  // single-contribution run.
+  rng::Stream rng1(44), rng2(44);
+  const auto dup = RandomnessBeacon::run(5, {7, 7, 9}, {}, rng1);
+  const auto single = RandomnessBeacon::run(5, {7, 9}, {}, rng2);
+  EXPECT_TRUE(dup.disqualified.empty());
+  EXPECT_NE(dup.randomness, single.randomness);
+}
+
+TEST(Beacon, AllDealersCheatingDisqualifiesEveryone) {
+  rng::Stream rng(45);
+  const std::vector<std::uint64_t> secrets = {3, 5, 7};
+  const auto result = RandomnessBeacon::run(6, secrets, {0, 1, 2}, rng);
+  EXPECT_EQ(result.disqualified, (std::vector<std::size_t>{0, 1, 2}));
+  // The output degenerates to H(round || 0) — still well-defined, and
+  // the disqualification list is the caller's signal that the run lost
+  // its honest-majority assumption.
+}
+
 TEST(Pvss, CommittedSecretMatches) {
   rng::Stream rng(8);
   const std::uint64_t secret = 2024;

@@ -1,0 +1,268 @@
+// EpochManager: lifecycle scheduling, PoW identity churn, reconfiguration
+// contract (ledger and reputation survive the reshuffle), determinism.
+#include "epoch/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cyc::epoch {
+namespace {
+
+using protocol::AdversaryConfig;
+using protocol::Engine;
+using protocol::Params;
+
+Params small_params(std::uint64_t seed, std::uint32_t standby = 8) {
+  Params p;
+  p.m = 3;
+  p.c = 9;
+  p.lambda = 3;
+  p.referee_size = 5;
+  p.txs_per_committee = 8;
+  p.cross_shard_fraction = 0.2;
+  p.invalid_fraction = 0.1;
+  p.users = 60;
+  p.standby = standby;
+  p.seed = seed;
+  return p;
+}
+
+EpochConfig epochs(std::size_t n, std::size_t rounds, double churn) {
+  EpochConfig c;
+  c.epochs = n;
+  c.rounds_per_epoch = rounds;
+  c.churn_rate = churn;
+  return c;
+}
+
+std::set<net::NodeId> role_holders(const protocol::RoundAssignment& assign) {
+  std::set<net::NodeId> out;
+  for (net::NodeId id : assign.referees) out.insert(id);
+  for (const auto& committee : assign.committees) {
+    out.insert(committee.leader);
+    out.insert(committee.partial.begin(), committee.partial.end());
+    out.insert(committee.commons.begin(), committee.commons.end());
+  }
+  return out;
+}
+
+TEST(EpochManager, SingleEpochMatchesBareEngine) {
+  // epochs = 1 must be bit-for-bit the plain Engine run.
+  Params params = small_params(21, /*standby=*/0);
+  Engine bare(params, AdversaryConfig{});
+  EpochManager managed(params, AdversaryConfig{}, epochs(1, 2, 0.0));
+  for (int r = 0; r < 2; ++r) {
+    const auto a = bare.run_round();
+    const auto b = managed.run_round();
+    EXPECT_EQ(a.txs_committed, b.txs_committed);
+    EXPECT_EQ(a.txs_offered, b.txs_offered);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+  }
+  EXPECT_TRUE(managed.finished());
+  EXPECT_TRUE(managed.handoffs().empty());
+  EXPECT_EQ(bare.chain().tip().hash(), managed.engine().chain().tip().hash());
+  for (std::size_t k = 0; k < bare.shard_state().size(); ++k) {
+    EXPECT_EQ(bare.shard_state()[k].digest(),
+              managed.engine().shard_state()[k].digest());
+  }
+}
+
+TEST(EpochManager, MultiEpochChurnsAndPreservesLedger) {
+  EpochManager manager(small_params(22), AdversaryConfig{},
+                       epochs(3, 2, 0.2));
+  // Reputations observed right after each boundary round returns: the
+  // boundary runs inside run_round after reputation updating, and
+  // reconfigure must not touch reputations, so the handoff's surviving
+  // sum has to match these values exactly. (That reconfigure itself
+  // leaves reputations untouched is asserted directly in
+  // EngineReconfigure.ValidatesMembership.)
+  std::map<std::uint64_t, std::vector<double>> post_boundary_reps;
+  std::size_t seen_handoffs = 0;
+  while (!manager.finished()) {
+    manager.run_round();
+    if (manager.handoffs().size() > seen_handoffs) {
+      std::vector<double> reps;
+      for (std::size_t i = 0; i < manager.engine().node_count(); ++i) {
+        reps.push_back(
+            manager.engine().reputation(static_cast<net::NodeId>(i)));
+      }
+      post_boundary_reps[manager.handoffs().back().epoch] = reps;
+      seen_handoffs = manager.handoffs().size();
+    }
+  }
+
+  ASSERT_EQ(manager.handoffs().size(), 2u);
+  EXPECT_EQ(manager.rounds_run(), 6u);
+  EXPECT_EQ(manager.engine().chain().height(), 6u);
+
+  const std::size_t active = small_params(22).total_nodes();
+  for (const auto& handoff : manager.handoffs()) {
+    // Membership size is conserved (one retirement per admitted joiner).
+    EXPECT_EQ(handoff.members.size(), active);
+    EXPECT_GT(handoff.joined.size(), 0u) << "churn 0.2 must admit joiners";
+    EXPECT_EQ(handoff.joined.size(), handoff.retired.size());
+    EXPECT_LE(handoff.joined.size(), handoff.join_candidates);
+    // Bounded churn budget.
+    EXPECT_LE(static_cast<double>(handoff.retired.size()),
+              0.25 * static_cast<double>(active) + 1e-9);
+    // Joined and retired are disjoint; members sorted and unique.
+    std::set<net::NodeId> joined(handoff.joined.begin(),
+                                 handoff.joined.end());
+    for (net::NodeId id : handoff.retired) {
+      EXPECT_FALSE(joined.contains(id));
+    }
+    EXPECT_TRUE(std::is_sorted(handoff.members.begin(),
+                               handoff.members.end()));
+    // Reputation conservation: surviving members carry their exact
+    // end-of-epoch reputation across the reshuffle.
+    const auto& reps = post_boundary_reps.at(handoff.epoch);
+    double expected = 0.0;
+    for (net::NodeId id : handoff.members) {
+      if (!joined.contains(id)) expected += reps[id];
+    }
+    EXPECT_NEAR(handoff.surviving_reputation, expected, 1e-9);
+  }
+
+  // Consecutive epochs drew different randomness.
+  EXPECT_NE(manager.handoffs()[0].randomness,
+            manager.handoffs()[1].randomness);
+}
+
+TEST(EpochManager, RolesComeFromNewMembershipOnly) {
+  EpochManager manager(small_params(23), AdversaryConfig{},
+                       epochs(2, 1, 0.2));
+  manager.run_round();  // epoch 0 round + boundary
+  ASSERT_EQ(manager.handoffs().size(), 1u);
+  const EpochHandoff& handoff = manager.handoffs().front();
+  const std::set<net::NodeId> members(handoff.members.begin(),
+                                      handoff.members.end());
+  const auto holders = role_holders(manager.engine().assignment());
+  EXPECT_EQ(holders.size(), members.size());
+  for (net::NodeId id : holders) {
+    EXPECT_TRUE(members.contains(id)) << "role holder " << id
+                                      << " is not a member";
+  }
+  for (net::NodeId id : handoff.retired) {
+    EXPECT_FALSE(holders.contains(id)) << "retired node " << id
+                                       << " still holds a role";
+    EXPECT_FALSE(manager.engine().enrolled(id));
+  }
+  for (net::NodeId id : handoff.joined) {
+    EXPECT_TRUE(manager.engine().enrolled(id));
+  }
+  // The new epoch runs to completion on the reshuffled membership.
+  const auto report = manager.run_round();
+  EXPECT_GT(report.txs_committed, 0u);
+  EXPECT_TRUE(manager.finished());
+}
+
+TEST(EpochManager, ZeroChurnKeepsMembershipButRedraws) {
+  EpochManager manager(small_params(24, /*standby=*/4), AdversaryConfig{},
+                       epochs(2, 1, 0.0));
+  const auto before = manager.engine().members();
+  const auto rand_before = manager.engine().randomness();
+  manager.run_round();
+  ASSERT_EQ(manager.handoffs().size(), 1u);
+  const EpochHandoff& handoff = manager.handoffs().front();
+  EXPECT_TRUE(handoff.joined.empty());
+  EXPECT_TRUE(handoff.retired.empty());
+  EXPECT_EQ(handoff.members, before);
+  // The committees were still re-drawn: the epoch randomness is fresh
+  // (distinct from genesis and from the PVSS beacon alone) and installed,
+  // and the assignment targets the upcoming round.
+  EXPECT_NE(handoff.randomness, rand_before);
+  EXPECT_EQ(manager.engine().randomness(), handoff.randomness);
+  EXPECT_EQ(manager.engine().assignment().round, manager.engine().round());
+  const auto holders = role_holders(manager.engine().assignment());
+  EXPECT_EQ(holders.size(), before.size());
+}
+
+TEST(EpochManager, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    EpochManager manager(small_params(25), AdversaryConfig{},
+                         epochs(3, 1, 0.2));
+    while (!manager.finished()) manager.run_round();
+    std::vector<crypto::Digest> digests;
+    for (const auto& handoff : manager.handoffs()) {
+      digests.push_back(handoff.digest());
+    }
+    digests.push_back(manager.engine().chain().tip().hash());
+    return digests;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EpochManager, AdversarialEpochsStayLive) {
+  AdversaryConfig adv;
+  adv.corrupt_fraction = 0.15;
+  EpochManager manager(small_params(26), adv, epochs(3, 1, 0.2));
+  std::size_t committed = 0;
+  while (!manager.finished()) committed += manager.run_round().txs_committed;
+  EXPECT_GT(committed, 0u);
+  EXPECT_EQ(manager.handoffs().size(), 2u);
+}
+
+TEST(EpochManager, RejectsDegenerateSchedules) {
+  EXPECT_THROW(EpochManager(small_params(27), AdversaryConfig{},
+                            epochs(0, 1, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(EpochManager(small_params(27), AdversaryConfig{},
+                            epochs(1, 0, 0.0)),
+               std::invalid_argument);
+  EpochManager manager(small_params(27, 0), AdversaryConfig{},
+                       epochs(1, 1, 0.0));
+  manager.run_round();
+  EXPECT_TRUE(manager.finished());
+  EXPECT_THROW(manager.run_round(), std::logic_error);
+}
+
+TEST(EngineReconfigure, ValidatesMembership) {
+  Params params = small_params(28, 0);
+  Engine engine(params, AdversaryConfig{});
+  engine.run_round();
+
+  protocol::Reconfiguration reconfig;
+  reconfig.epoch = 1;
+  reconfig.randomness = crypto::sha256(bytes_of("epoch-rand"));
+
+  // Too few members for the role floor.
+  reconfig.members = {0, 1, 2};
+  EXPECT_THROW(engine.reconfigure(reconfig), std::invalid_argument);
+
+  // Duplicate ids.
+  reconfig.members = engine.members();
+  reconfig.members.push_back(reconfig.members.front());
+  EXPECT_THROW(engine.reconfigure(reconfig), std::invalid_argument);
+
+  // Unknown node id.
+  reconfig.members = engine.members();
+  reconfig.members.back() = static_cast<net::NodeId>(engine.node_count() + 7);
+  EXPECT_THROW(engine.reconfigure(reconfig), std::invalid_argument);
+
+  // A valid reconfiguration keeps the ledger, every reputation and the
+  // Remaining TX List, and installs the randomness.
+  const auto tip = engine.chain().tip().hash();
+  const auto carried = engine.carryover_size();
+  std::vector<double> reps_before;
+  for (std::size_t i = 0; i < engine.node_count(); ++i) {
+    reps_before.push_back(engine.reputation(static_cast<net::NodeId>(i)));
+  }
+  reconfig.members = engine.members();
+  engine.reconfigure(reconfig);
+  EXPECT_EQ(engine.chain().tip().hash(), tip);
+  EXPECT_EQ(engine.carryover_size(), carried);
+  EXPECT_EQ(engine.randomness(), reconfig.randomness);
+  EXPECT_EQ(engine.assignment().round, engine.round());
+  for (std::size_t i = 0; i < engine.node_count(); ++i) {
+    EXPECT_EQ(engine.reputation(static_cast<net::NodeId>(i)), reps_before[i])
+        << "reconfigure mutated node " << i << "'s reputation";
+  }
+  const auto report = engine.run_round();  // still runs after reconfigure
+  EXPECT_GT(report.txs_committed, 0u);
+}
+
+}  // namespace
+}  // namespace cyc::epoch

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "epoch/manager.hpp"
 #include "harness/invariants.hpp"
 #include "ledger/validator.hpp"
 
@@ -200,6 +201,221 @@ TEST(InvariantChecker, FlagsTamperedSignatureAndUnknownInput) {
                                     fx.mirror, 1, out);
   EXPECT_TRUE(has_invariant(out, "tx-signature"));
   EXPECT_TRUE(has_invariant(out, "spend-of-missing-output"));
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-boundary invariants: green on a real boundary, and non-vacuous —
+// forged EpochHandoff records (dropped carried tx, inflated reputation,
+// stale chain head, smuggled role holders, stacked committees) must be
+// flagged.
+// ---------------------------------------------------------------------------
+
+struct EpochFixture {
+  epoch::EpochManager manager;
+
+  /// `force_carryover` crashes a third of the round-1 leaders with
+  /// recovery disabled, so their committees' valid transactions land on
+  /// the Remaining TX List and the handoff actually carries txs.
+  explicit EpochFixture(std::uint64_t seed, bool force_carryover = false)
+      : manager(
+            [&] {
+              Params p = small_params(seed);
+              p.standby = 8;
+              p.invalid_fraction = 0.3;  // force a busy §IV-G drop path
+              return p;
+            }(),
+            [&] {
+              AdversaryConfig adv;
+              if (force_carryover) {
+                adv.forced_corrupt_leader_fraction = 0.34;
+                adv.mix = {{Behavior::kCrash, 1.0}};
+              }
+              return adv;
+            }(),
+            [] {
+              epoch::EpochConfig c;
+              c.epochs = 2;
+              c.rounds_per_epoch = 1;
+              c.churn_rate = 0.2;
+              return c;
+            }(),
+            [&] {
+              protocol::EngineOptions options;
+              if (force_carryover) options.recovery_enabled = false;
+              return options;
+            }()) {}
+
+  /// Run through the first boundary; returns the genuine handoff.
+  epoch::EpochHandoff cross_boundary(InvariantChecker& checker) {
+    while (manager.handoffs().empty()) {
+      checker.check_round(manager.run_round());
+    }
+    return manager.handoffs().front();
+  }
+};
+
+TEST(InvariantChecker, EpochBoundaryStaysGreenOnHonestRun) {
+  EpochFixture fx(51);
+  InvariantChecker checker(fx.manager.engine());
+  const auto handoff = fx.cross_boundary(checker);
+  EXPECT_EQ(checker.check_epoch_boundary(handoff), 0u)
+      << (checker.violations().empty()
+              ? ""
+              : checker.violations().back().invariant + " — " +
+                    checker.violations().back().detail);
+  EXPECT_GT(handoff.joined.size(), 0u);
+}
+
+TEST(InvariantChecker, FlagsForgedHandoffDroppedCarriedTx) {
+  EpochFixture fx(52, /*force_carryover=*/true);
+  InvariantChecker checker(fx.manager.engine());
+  epoch::EpochHandoff forged = fx.cross_boundary(checker);
+  ASSERT_GT(forged.carried_txs, 0u)
+      << "fixture must carry txs across the boundary or the test is vacuous";
+  // A corrupted handoff silently drops one carried transaction.
+  forged.carried_txs -= 1;
+  forged.carried_digest = crypto::sha256(bytes_of("recomputed-after-drop"));
+  std::vector<Violation> out;
+  InvariantChecker::check_handoff_state(forged, fx.manager.engine(), out);
+  EXPECT_TRUE(has_invariant(out, "epoch-tx-preservation"));
+}
+
+TEST(InvariantChecker, FlagsForgedHandoffInflatedReputation) {
+  EpochFixture fx(53);
+  InvariantChecker checker(fx.manager.engine());
+  epoch::EpochHandoff forged = fx.cross_boundary(checker);
+  forged.surviving_reputation += 10.0;  // conjured reputation
+  std::vector<Violation> out;
+  InvariantChecker::check_handoff_state(forged, fx.manager.engine(), out);
+  EXPECT_TRUE(has_invariant(out, "epoch-reputation-conservation"));
+  // The full boundary check (which also compares against its own
+  // pre-boundary snapshot) flags it too.
+  EXPECT_GT(checker.check_epoch_boundary(forged), 0u);
+  EXPECT_TRUE(
+      has_invariant(checker.violations(), "epoch-reputation-conservation"));
+}
+
+TEST(InvariantChecker, FlagsForgedHandoffStaleChainAndShardState) {
+  EpochFixture fx(54);
+  InvariantChecker checker(fx.manager.engine());
+  const epoch::EpochHandoff genuine = fx.cross_boundary(checker);
+
+  epoch::EpochHandoff forged = genuine;
+  forged.chain_height += 1;
+  forged.chain_tip = crypto::sha256(bytes_of("phantom-block"));
+  std::vector<Violation> out;
+  InvariantChecker::check_handoff_state(forged, fx.manager.engine(), out);
+  EXPECT_TRUE(has_invariant(out, "epoch-handoff-continuity"));
+
+  forged = genuine;
+  ASSERT_FALSE(forged.shard_digests.empty());
+  forged.shard_digests[0] = crypto::sha256(bytes_of("tampered-shard"));
+  out.clear();
+  InvariantChecker::check_handoff_state(forged, fx.manager.engine(), out);
+  EXPECT_TRUE(has_invariant(out, "epoch-handoff-continuity"));
+}
+
+TEST(InvariantChecker, FlagsMembershipViolations) {
+  EpochFixture fx(55);
+  InvariantChecker checker(fx.manager.engine());
+  const epoch::EpochHandoff genuine = fx.cross_boundary(checker);
+  const auto& params = fx.manager.engine().params();
+
+  // A record that pretends a current role holder is not a member.
+  epoch::EpochHandoff forged = genuine;
+  ASSERT_FALSE(forged.members.empty());
+  const net::NodeId smuggled = forged.members.front();
+  forged.members.erase(forged.members.begin());
+  std::vector<Violation> out;
+  InvariantChecker::check_handoff_membership(
+      forged, fx.manager.engine().assignment(), params.m, params.lambda,
+      params.referee_size, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-membership")) << "node " << smuggled;
+
+  // A record whose "retired" node is still serving.
+  forged = genuine;
+  forged.retired.push_back(forged.members.front());
+  out.clear();
+  InvariantChecker::check_handoff_membership(
+      forged, fx.manager.engine().assignment(), params.m, params.lambda,
+      params.referee_size, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-membership"));
+}
+
+TEST(InvariantChecker, FlagsOutOfUniverseMemberIds) {
+  // A tampered serialized record can carry arbitrary node ids; the audit
+  // must flag them as membership violations, never index engine state
+  // with them.
+  EpochFixture fx(57);
+  InvariantChecker checker(fx.manager.engine());
+  epoch::EpochHandoff forged = fx.cross_boundary(checker);
+  forged.members.push_back(
+      static_cast<net::NodeId>(fx.manager.engine().node_count() + 1000));
+  std::vector<Violation> out;
+  InvariantChecker::check_handoff_state(forged, fx.manager.engine(), out);
+  EXPECT_TRUE(has_invariant(out, "epoch-membership"));
+  EXPECT_GT(checker.check_epoch_boundary(forged), 0u);
+}
+
+TEST(InvariantChecker, FlagsRiggedCommitteeDraw) {
+  // 200 members, 5 corrupt — a fair draw of a 9-seat committee has a
+  // ~1e-7 chance of a corrupt majority, so an assignment that stacks all
+  // five corrupt nodes into committee 0 is evidence of rigging.
+  std::vector<net::NodeId> members(200);
+  for (net::NodeId id = 0; id < 200; ++id) members[id] = id;
+  const auto corrupt = [](net::NodeId id) { return id < 5; };
+
+  protocol::RoundAssignment assign;
+  assign.round = 9;
+  assign.referees = {100, 101, 102, 103, 104};
+  assign.committees.resize(2);
+  assign.committees[0].id = 0;
+  assign.committees[0].leader = 0;
+  assign.committees[0].partial = {1, 2};
+  assign.committees[0].commons = {3, 4, 110, 111, 112, 113};
+  assign.committees[1].id = 1;
+  assign.committees[1].leader = 120;
+  assign.committees[1].partial = {121, 122};
+  assign.committees[1].commons = {123, 124, 125, 126, 127, 128};
+
+  std::vector<Violation> out;
+  InvariantChecker::check_committee_honesty(assign, members, corrupt, 9, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-committee-honest-majority"));
+
+  // The same corrupt mass spread across committees is fine.
+  assign.committees[0].partial = {110, 111};
+  assign.committees[0].commons = {112, 113, 114, 115, 116, 117};
+  out.clear();
+  InvariantChecker::check_committee_honesty(assign, members, corrupt, 9, out);
+  EXPECT_TRUE(out.empty());
+
+  // Outside the threat model (>= 1/3 corrupt) the check is disarmed:
+  // failure-probing scenarios are not flagged.
+  const auto mostly_corrupt = [](net::NodeId id) { return id < 80; };
+  assign.committees[0].leader = 0;
+  assign.committees[0].partial = {1, 2};
+  assign.committees[0].commons = {3, 4, 5, 6, 7, 8};
+  out.clear();
+  InvariantChecker::check_committee_honesty(assign, members, mostly_corrupt,
+                                            9, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(InvariantChecker, HighInvalidFractionExercisesDropPath) {
+  // The invalid/x0.3 matrix point is only a flow-conservation spot check
+  // if the §IV-G drop path actually fires: at a 30% ground-truth-invalid
+  // workload, rounds must drop transactions and conservation must hold
+  // with dropped > 0.
+  Params p = small_params(56);
+  p.invalid_fraction = 0.3;
+  Engine engine(p, AdversaryConfig{});
+  InvariantChecker checker(engine);
+  std::uint64_t dropped = 0;
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(checker.check_round(engine.run_round()), 0u);
+    dropped += engine.last_flow().dropped;
+  }
+  EXPECT_GT(dropped, 0u) << "spot check is vacuous without drops";
 }
 
 TEST(InvariantChecker, FlagsBrokenFlowConservation) {

@@ -140,6 +140,52 @@ TEST(ScenarioSpec, JsonRoundTrip) {
   EXPECT_EQ(parsed.events[0].behavior, protocol::Behavior::kCommitForger);
 }
 
+TEST(ScenarioSpec, ParsesEpochFields) {
+  const auto specs = ScenarioSpec::list_from_json(R"({
+    "name": "epochal",
+    "params": {"m": 3, "c": 9, "standby": 8},
+    "rounds": 2,
+    "epochs": 3,
+    "churn_rate": 0.2
+  })");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].epochs, 3u);
+  EXPECT_DOUBLE_EQ(specs[0].churn_rate, 0.2);
+  EXPECT_EQ(specs[0].params.standby, 8u);
+  // Defaults: one epoch, no churn, no standby pool.
+  const auto bare = ScenarioSpec::list_from_json(R"({"name":"bare"})");
+  EXPECT_EQ(bare[0].epochs, 1u);
+  EXPECT_DOUBLE_EQ(bare[0].churn_rate, 0.0);
+  EXPECT_EQ(bare[0].params.standby, 0u);
+}
+
+TEST(ScenarioSpec, RejectsInvalidEpochFields) {
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"epochs": 0})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"churn_rate": 1.5})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"churn_rate": -0.1})"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::list_from_json(R"({"params":{"standby":-4}})"),
+               std::runtime_error);
+}
+
+TEST(ScenarioSpec, EpochFieldsRoundTrip) {
+  ScenarioSpec spec;
+  spec.name = "epoch-rt";
+  spec.params.standby = 6;
+  spec.rounds = 2;
+  spec.epochs = 4;
+  spec.churn_rate = 0.15;
+  support::JsonWriter w;
+  spec.to_json(w);
+  const auto parsed =
+      ScenarioSpec::from_json(support::JsonValue::parse(w.str()));
+  EXPECT_EQ(parsed.epochs, 4u);
+  EXPECT_DOUBLE_EQ(parsed.churn_rate, 0.15);
+  EXPECT_EQ(parsed.params.standby, 6u);
+}
+
 TEST(ScenarioMatrix, CrossesEveryAxis) {
   MatrixAxes axes;
   axes.base.m = 2;
@@ -167,19 +213,71 @@ TEST(ScenarioMatrix, EmptyAxesFallBackToBase) {
   const auto matrix = build_matrix(axes);
   ASSERT_EQ(matrix.size(), 1u);
   EXPECT_DOUBLE_EQ(matrix[0].params.cross_shard_fraction, 0.33);
+  // New axes left empty contribute the base value and no name segment.
+  EXPECT_EQ(matrix[0].params.m, axes.base.m);
+  EXPECT_EQ(matrix[0].epochs, 1u);
+  EXPECT_EQ(matrix[0].name.find("/m"), std::string::npos);
+  EXPECT_EQ(matrix[0].name.find("/e"), std::string::npos);
+}
+
+TEST(ScenarioMatrix, CrossesShapeInvalidAndEpochAxes) {
+  MatrixAxes axes;
+  axes.base.standby = 8;
+  axes.seeds = {1};
+  axes.committee_shapes = {{2, 8}, {4, 6}};
+  axes.invalid_fractions = {0.0, 0.3};
+  axes.epoch_points = {{1, 0.0}, {3, 0.2}};
+  const auto matrix = build_matrix(axes);
+  EXPECT_EQ(matrix.size(), 2u * 2u * 2u);
+  std::set<std::string> names;
+  bool saw_epoch_point = false;
+  for (const auto& spec : matrix) {
+    names.insert(spec.name);
+    EXPECT_NE(spec.name.find("/m"), std::string::npos) << spec.name;
+    EXPECT_NE(spec.name.find("/inv"), std::string::npos) << spec.name;
+    if (spec.epochs == 3) {
+      saw_epoch_point = true;
+      EXPECT_DOUBLE_EQ(spec.churn_rate, 0.2);
+      EXPECT_NE(spec.name.find("/e3ch0.2"), std::string::npos) << spec.name;
+    }
+  }
+  EXPECT_EQ(names.size(), matrix.size());
+  EXPECT_TRUE(saw_epoch_point);
+  // The shape axis actually lands in Params.
+  bool saw_m4 = false;
+  for (const auto& spec : matrix) {
+    saw_m4 |= spec.params.m == 4 && spec.params.c == 6;
+  }
+  EXPECT_TRUE(saw_m4);
 }
 
 TEST(ScenarioMatrix, DefaultMatrixShape) {
   const auto matrix = default_matrix();
   // 3 adversary mixes x 2 delay regimes x 2 cross fractions x 2 capacity
-  // skews + 2 churn scenarios; 2 seeds each.
-  EXPECT_EQ(matrix.size(), 26u);
+  // skews + 2 churn scenarios + committee-shape + high-invalid +
+  // multi-epoch; 2 seeds each.
+  EXPECT_EQ(matrix.size(), 29u);
   std::size_t points = 0;
   for (const auto& spec : matrix) points += spec.seeds.size();
   EXPECT_GE(points, 24u);
   bool has_events = false;
-  for (const auto& spec : matrix) has_events |= !spec.events.empty();
+  bool has_epochs = false;
+  bool has_shape = false;
+  bool has_high_invalid = false;
+  for (const auto& spec : matrix) {
+    has_events |= !spec.events.empty();
+    has_epochs |= spec.epochs >= 3 && spec.churn_rate > 0.0;
+    has_shape |= spec.params.m != matrix.front().params.m ||
+                 spec.params.c != matrix.front().params.c;
+    has_high_invalid |=
+        spec.params.invalid_fraction > matrix.front().params.invalid_fraction;
+  }
   EXPECT_TRUE(has_events) << "default matrix must exercise mid-run churn";
+  EXPECT_TRUE(has_epochs)
+      << "default matrix must include a multi-epoch churn point";
+  EXPECT_TRUE(has_shape) << "default matrix must sweep the committee shape";
+  EXPECT_TRUE(has_high_invalid)
+      << "default matrix must include a high invalid-fraction point";
 }
 
 TEST(BehaviorTokens, RoundTripAllBehaviors) {

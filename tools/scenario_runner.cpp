@@ -5,15 +5,20 @@
 //
 // With no --spec, runs the built-in bounded default matrix (3 adversary
 // mixes x 2 delay regimes x 2 cross-shard fractions x 2 capacity skews
-// plus 2 mid-run churn scenarios = 26 scenarios, 2 seeds each =
-// 52 points). --spec FILE loads a JSON scenario list (one
-// object, an array, or {"scenarios": [...]}). The JSON artifact goes to
-// --out (default bench/out/SCENARIOS.json); it is a pure function of the
-// matrix, so repeated runs are byte-identical.
+// plus mid-run churn, committee-shape, high-invalid-fraction and
+// multi-epoch scenarios = 29 scenarios, 2 seeds each = 58 points).
+// --spec FILE loads a JSON scenario list (one object, an array, or
+// {"scenarios": [...]}); multi-epoch scenarios set "epochs" /
+// "churn_rate" (see src/epoch/README.md). The JSON artifact goes to
+// --out (default bench/out/SCENARIOS.json; the directory is created if
+// missing); it is a pure function of the matrix, so repeated runs are
+// byte-identical.
 //
 // Exit status: 0 when every invariant held on every point, 1 on any
 // violation, 2 on usage / input errors.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -48,7 +53,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--spec" && i + 1 < argc) {
       spec_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      char* end = nullptr;
+      errno = 0;
+      const long long parsed = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || parsed < 0 ||
+          errno == ERANGE || parsed > 0xffffffffll) {
+        std::fprintf(stderr,
+                     "scenario_runner: --threads expects a non-negative "
+                     "32-bit integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      threads = static_cast<unsigned>(parsed);
     } else if (arg == "--print") {
       print_artifact = true;
     } else {
@@ -56,23 +72,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fail fast with a diagnostic — never run a half-loaded matrix or leave
+  // an empty artifact behind on a bad --spec.
   std::vector<harness::ScenarioSpec> scenarios;
   if (spec_path.empty()) {
     scenarios = harness::default_matrix();
   } else {
-    std::ifstream in(spec_path);
-    if (!in) {
-      std::fprintf(stderr, "scenario_runner: cannot read %s\n",
+    std::error_code ec;
+    if (std::filesystem::is_directory(spec_path, ec)) {
+      std::fprintf(stderr,
+                   "scenario_runner: --spec %s is a directory, expected a "
+                   "JSON scenario file\n",
                    spec_path.c_str());
+      return 2;
+    }
+    errno = 0;
+    std::ifstream in(spec_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "scenario_runner: cannot read --spec %s: %s\n",
+                   spec_path.c_str(),
+                   errno != 0 ? std::strerror(errno) : "open failed");
       return 2;
     }
     std::ostringstream text;
     text << in.rdbuf();
+    if (in.bad()) {
+      std::fprintf(stderr, "scenario_runner: I/O error reading --spec %s\n",
+                   spec_path.c_str());
+      return 2;
+    }
     try {
       scenarios = harness::ScenarioSpec::list_from_json(text.str());
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "scenario_runner: %s: %s\n", spec_path.c_str(),
-                   e.what());
+      std::fprintf(stderr, "scenario_runner: invalid --spec %s: %s\n",
+                   spec_path.c_str(), e.what());
       return 2;
     }
   }
