@@ -2,11 +2,14 @@
 # Sanitizer gate: build with AddressSanitizer + UBSan and run the tier-1
 # test suite plus the bounded default scenario matrix under
 # instrumentation. Catches memory and UB bugs the optimized builds hide.
+# Finishes with the Release scenario-fuzz gate (scripts/run_fuzz.sh:
+# fixed seed, 200-spec budget, shrink-on-failure, double-run
+# byte-compare).
 #
 # Usage: scripts/run_checks.sh [build-dir]   (default: build-asan)
 #
-# Exits non-zero on any build failure, test failure, sanitizer report, or
-# invariant violation in the scenario matrix.
+# Exits non-zero on any build failure, test failure, sanitizer report,
+# invariant violation in the scenario matrix, or surviving fuzz failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +30,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 echo
 echo "=== scenario matrix (sanitized) ==="
 "$BUILD_DIR/scenario_runner" --out "$BUILD_DIR/SCENARIOS.asan.json"
+
+echo
+echo "=== scenario fuzz (Release, fixed seed) ==="
+scripts/run_fuzz.sh
 
 echo
 echo "sanitizer gate: ALL GREEN"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Scenario-fuzz gate: Release build, fixed seed, bounded budget.
+#
+# Samples 200 threat-model-bounded random ScenarioSpecs (src/fuzz/),
+# runs every invariant on every (spec, seed) point, shrinks any failure
+# to a minimal repro in bench/out/FUZZ_failures/, and byte-compares the
+# artifacts of two identical runs (the campaign is a pure function of
+# seed + budget). Exits non-zero on any surviving failure, determinism
+# diff, or build failure.
+#
+# Usage: scripts/run_fuzz.sh [build-dir] [-- extra fuzz_runner args]
+#   scripts/run_fuzz.sh                      # seed 1, budget 200
+#   scripts/run_fuzz.sh build-bench -- --seed 7 --budget 500
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="build-bench"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target fuzz_runner
+
+mkdir -p bench/out
+# A green gate must not leave stale repros from earlier failing runs
+# behind — everything in the corpus dir belongs to this campaign.
+rm -rf bench/out/FUZZ_failures
+echo "=== fuzz_runner (pass 1) ==="
+"$BUILD_DIR/fuzz_runner" --out bench/out/FUZZ.json \
+  --dir bench/out/FUZZ_failures "$@"
+echo
+echo "=== fuzz_runner (pass 2, determinism check) ==="
+"$BUILD_DIR/fuzz_runner" --out bench/out/FUZZ.rerun.json \
+  --dir bench/out/FUZZ_failures "$@" > /dev/null
+
+if ! cmp -s bench/out/FUZZ.json bench/out/FUZZ.rerun.json; then
+  echo "DETERMINISM REGRESSION: fuzz artifacts differ between identical runs" >&2
+  diff bench/out/FUZZ.json bench/out/FUZZ.rerun.json | head >&2
+  exit 1
+fi
+rm -f bench/out/FUZZ.rerun.json
+echo "artifact deterministic: bench/out/FUZZ.json"

@@ -2,8 +2,9 @@
 # Build Release and run the scenario-matrix + invariant harness.
 #
 # Runs the bounded default matrix (3 adversary mixes x 2 delay regimes x
-# 2 cross-shard fractions x 2 capacity skews + churn scenarios, 2 seeds
-# each) twice and byte-compares the JSON artifacts — the harness output
+# 2 cross-shard fractions x 2 capacity skews + churn / shape / invalid /
+# epoch scenarios, 3 rounds and 3 seeds each = 87 points) twice and
+# byte-compares the JSON artifacts — the harness output
 # is a pure function of the matrix, so any diff is a determinism
 # regression. Exits non-zero on any invariant violation, determinism
 # diff, or build failure.

@@ -1,0 +1,56 @@
+// Failure shrinking: delta-debug a red ScenarioSpec down to a minimal
+// reproducing spec.
+//
+// Given a spec on which some invariant went red, the shrinker applies
+// reduction passes — seed isolation, ddmin over the event schedule,
+// round / epoch reduction, and per-field normalization of every axis
+// back toward its default — keeping a candidate only when the *same
+// invariant identifier* still fires, and looping the passes to a
+// fixpoint. The result is 1-minimal with respect to the reduction
+// operators: no single further reduction still reproduces the failure.
+//
+// The failure oracle is injectable so tests can prove both minimality
+// (synthetic oracles with known minimal cores) and non-vacuity (a
+// planted forged-handoff violation must survive shrinking with its
+// identifier intact).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/invariants.hpp"
+#include "harness/scenario.hpp"
+
+namespace cyc::fuzz {
+
+/// Execute a spec and report every invariant violation it produces.
+using Oracle =
+    std::function<std::vector<harness::Violation>(const harness::ScenarioSpec&)>;
+
+/// The production oracle: harness::run_scenario over each of the spec's
+/// seeds, violations concatenated in seed order.
+Oracle default_oracle();
+
+struct ShrinkOptions {
+  /// Oracle-invocation budget; shrinking stops early (with `exhausted`
+  /// set) when it is spent, returning the best spec found so far.
+  std::size_t max_attempts = 1000;
+};
+
+struct ShrinkResult {
+  harness::ScenarioSpec spec;  ///< minimal spec still flagging `invariant`
+  std::string invariant;       ///< the preserved identifier
+  std::size_t attempts = 0;    ///< oracle invocations spent
+  std::size_t accepted = 0;    ///< reductions kept
+  bool exhausted = false;      ///< budget ran out before the fixpoint
+};
+
+/// Shrink `spec` while preserving a red `invariant`. Precondition:
+/// oracle(spec) flags `invariant` (throws std::invalid_argument
+/// otherwise — shrinking a green spec would "minimize" to anything).
+ShrinkResult shrink(const harness::ScenarioSpec& spec,
+                    const std::string& invariant, const Oracle& oracle,
+                    const ShrinkOptions& options = {});
+
+}  // namespace cyc::fuzz

@@ -484,6 +484,18 @@ void InvariantChecker::check_liveness(const protocol::RoundReport& report) {
   const std::uint64_t round = report.round;
   const auto& assignment = engine_.last_assignment();
   const auto& options = engine_.options();
+  // The recovery path runs through C_R (impeachment prosecution and the
+  // re-selection consensus, Alg. 6): without an honest-active majority
+  // of referees a faulty-leader committee legitimately cannot recover,
+  // so the recoverable half of commit-or-recover is armed only when C_R
+  // itself is inside the threat model.
+  std::size_t honest_referees = 0;
+  for (net::NodeId id : assignment.referees) {
+    if (!engine_.misbehaved(id, round) && engine_.active(id, round)) {
+      honest_referees += 1;
+    }
+  }
+  const bool referees_ok = honest_referees * 2 > assignment.referees.size();
   for (const auto& stats : report.committees) {
     if (stats.committee >= assignment.committees.size()) continue;
     const auto& info = assignment.committees[stats.committee];
@@ -499,7 +511,7 @@ void InvariantChecker::check_liveness(const protocol::RoundReport& report) {
     const bool leader_ok = !engine_.misbehaved(info.leader, round) &&
                            engine_.active(info.leader, round);
     bool recoverable = false;
-    if (options.recovery_enabled &&
+    if (options.recovery_enabled && referees_ok &&
         stats.recoveries < options.max_recoveries_per_committee) {
       for (net::NodeId id : info.partial) {
         if (!engine_.misbehaved(id, round) && engine_.active(id, round)) {

@@ -28,6 +28,9 @@
 //   honest-leader-convicted      only misbehaving leaders are convicted
 //   recovery-replacement         replacements come from the partial set
 //   commit-or-recover            honest-majority committees produce output
+//                                (recovery armed only under an honest-
+//                                active C_R majority — Alg. 6 runs
+//                                through the referees)
 //   honest-reputation-cliff      honest reputation never takes a conviction-
 //                                sized drop (vote scores are bounded by 1)
 //

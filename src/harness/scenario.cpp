@@ -62,10 +62,21 @@ protocol::Params params_from_json(const JsonValue& v,
   p.capacity_min = u32_field(v, "capacity_min", p.capacity_min);
   p.capacity_max = u32_field(v, "capacity_max", p.capacity_max);
   p.standby = u32_field(v, "standby", p.standby);
+  p.pow_bits = u32_field(v, "pow_bits", p.pow_bits);
   p.seed = u64_field(v, "seed", p.seed);
   p.delays.delta = v.number_or("delta", p.delays.delta);
   p.delays.gamma = v.number_or("gamma", p.delays.gamma);
   p.delays.jitter = v.number_or("jitter", p.delays.jitter);
+  p.config_duration = v.number_or("config_duration", p.config_duration);
+  p.semicommit_duration =
+      v.number_or("semicommit_duration", p.semicommit_duration);
+  p.intra_duration = v.number_or("intra_duration", p.intra_duration);
+  p.inter_duration = v.number_or("inter_duration", p.inter_duration);
+  p.reputation_duration =
+      v.number_or("reputation_duration", p.reputation_duration);
+  p.selection_duration =
+      v.number_or("selection_duration", p.selection_duration);
+  p.block_duration = v.number_or("block_duration", p.block_duration);
   return p;
 }
 
@@ -222,9 +233,18 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
   w.field("capacity_min", params.capacity_min);
   w.field("capacity_max", params.capacity_max);
   w.field("standby", params.standby);
+  w.field("pow_bits", static_cast<std::uint32_t>(params.pow_bits));
+  w.field("seed", params.seed);
   w.field("delta", params.delays.delta);
   w.field("gamma", params.delays.gamma);
   w.field("jitter", params.delays.jitter);
+  w.field("config_duration", params.config_duration);
+  w.field("semicommit_duration", params.semicommit_duration);
+  w.field("intra_duration", params.intra_duration);
+  w.field("inter_duration", params.inter_duration);
+  w.field("reputation_duration", params.reputation_duration);
+  w.field("selection_duration", params.selection_duration);
+  w.field("block_duration", params.block_duration);
   w.end_object();
   w.key("adversary");
   w.begin_object();
@@ -275,6 +295,16 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
   }
   w.end_array();
   w.end_object();
+}
+
+std::string ScenarioSpec::to_json_text() const {
+  JsonWriter w;
+  to_json(w);
+  return w.str();
+}
+
+ScenarioSpec ScenarioSpec::from_json_text(std::string_view text) {
+  return from_json(JsonValue::parse(text));
 }
 
 std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes) {
@@ -361,8 +391,10 @@ std::vector<ScenarioSpec> default_matrix() {
   axes.base.txs_per_committee = 10;
   axes.base.invalid_fraction = 0.1;
   axes.base.users = 20 * axes.base.m;
-  axes.rounds = 2;
-  axes.seeds = {1, 2};
+  // ROADMAP growth: 3 rounds (reputation-ranked re-selection gets a
+  // full cycle on every crossed point) and a third seed per scenario.
+  axes.rounds = 3;
+  axes.seeds = {1, 2, 3};
 
   // Adversary axis: honest baseline, misvoting members, and the leader
   // attacks that force the impeachment / recovery path.

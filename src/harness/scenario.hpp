@@ -68,6 +68,16 @@ struct ScenarioSpec {
 
   /// Emit this spec as a JSON object (round-trips through from_json).
   void to_json(support::JsonWriter& w) const;
+
+  /// Serialize to a standalone JSON document. Every field the
+  /// programmatic builder can set is emitted, and the encoding is
+  /// canonical: serialize -> parse -> serialize is byte-identical, so a
+  /// spec written to disk (e.g. a shrunk fuzz repro) replays exactly via
+  /// `scenario_runner --spec`.
+  std::string to_json_text() const;
+
+  /// Parse a single spec from a standalone JSON document.
+  static ScenarioSpec from_json_text(std::string_view text);
 };
 
 /// Scenario-matrix axes. build_matrix crosses every axis; empty axes
@@ -101,7 +111,7 @@ std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes);
 /// suite execute: 3 adversary mixes x 2 delay regimes x 2 cross-shard
 /// fractions x 2 capacity skews, plus mid-run churn, committee-shape
 /// (m/c), high-invalid-fraction and multi-epoch (3 epochs, PoW identity
-/// churn) scenarios — 2 seeds each.
+/// churn) scenarios — 3 rounds and 3 seeds each.
 std::vector<ScenarioSpec> default_matrix();
 
 /// Stable token for a Behavior, and the reverse lookup used by the JSON

@@ -176,12 +176,25 @@ net::NodeId Engine::node_of_pk(const crypto::PublicKey& pk) const {
   return it == pk_index_.end() ? net::kNoNode : it->second;
 }
 
+net::NodeId Engine::designated_referee(std::uint64_t sn) const {
+  // The referee designated to drive instance `sn`: the hash seat, or —
+  // when that seat is silent this round — the next active seat in
+  // rotation order. C_R's consensus tolerates < 1/3 faulty referees via
+  // view change; this is the deterministic stand-in (every node
+  // evaluates the same rotation), so one crashed referee cannot stall
+  // conviction, re-selection or block release for a whole round.
+  const std::size_t size = assign_.referees.size();
+  for (std::size_t step = 0; step < size; ++step) {
+    const net::NodeId id = assign_.referees[(sn + step) % size];
+    if (nodes_[id].is_active(round_)) return id;
+  }
+  return assign_.referees[sn % size];  // all silent: threat-model breach
+}
+
 crypto::PublicKey Engine::expected_instance_leader(std::uint32_t scope,
                                                    std::uint64_t sn) const {
   if (scope == params_.m) {  // referee scope
-    const net::NodeId id =
-        assign_.referees[sn % assign_.referees.size()];
-    return nodes_[id].keys.pk;
+    return nodes_[designated_referee(sn)].keys.pk;
   }
   return nodes_[committees_[scope].current_leader].keys.pk;
 }

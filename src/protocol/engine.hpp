@@ -326,6 +326,7 @@ class Engine {
   std::vector<net::NodeId> committee_members(std::uint32_t k) const;
   std::vector<crypto::PublicKey> committee_pks(std::uint32_t k) const;
   net::NodeId node_of_pk(const crypto::PublicKey& pk) const;
+  net::NodeId designated_referee(std::uint64_t sn) const;
   crypto::PublicKey expected_instance_leader(std::uint32_t scope,
                                              std::uint64_t sn) const;
   std::vector<net::NodeId> instance_peers(std::uint32_t scope) const;

@@ -167,8 +167,7 @@ void Engine::phase_block(net::Time at) {
   current_phase_ = net::Phase::kBlock;
   // The designated referee proposes the block content; C_R agrees via
   // Algorithm 3; on certification the block is released to everyone.
-  const net::NodeId proposer =
-      assign_.referees[kSnBlock % assign_.referees.size()];
+  const net::NodeId proposer = designated_referee(kSnBlock);
   NodeState& referee = nodes_[proposer];
   wire::BlockMsg block;
   block.round = round_;

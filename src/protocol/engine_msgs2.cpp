@@ -90,7 +90,7 @@ void Engine::on_semicommit(NodeState& self, const net::Message& msg,
       // convicts (every honest referee sees the same contradiction).
       const std::uint64_t sn = sn_reselect(k, committees_[k].attempt);
       if (options_.recovery_enabled && !committees_[k].leader_convicted &&
-          assign_.referees[sn % assign_.referees.size()] == self.id) {
+          designated_referee(sn) == self.id) {
         CommitmentMismatchWitness witness{sc.list_msg, sc.commitment_msg};
         Accusation accusation;
         accusation.round = round_;
@@ -122,7 +122,7 @@ void Engine::on_semicommit(NodeState& self, const net::Message& msg,
     // The designated referee additionally drives the C_R agreement on
     // this commitment (each referee "is regarded as the leader", §IV-B).
     const std::uint64_t sn = sn_semi_check(k);
-    if (assign_.referees[sn % assign_.referees.size()] == self.id) {
+    if (designated_referee(sn) == self.id) {
       Writer w;
       w.str("SEMI_CHECK");
       w.u32(k);
@@ -830,7 +830,7 @@ void Engine::on_prosecute(NodeState& self, const net::Message& msg,
   // Only the designated referee drives the re-selection instance.
   const std::uint64_t sn = sn_reselect(accusation.committee,
                                        committees_[accusation.committee].attempt);
-  if (assign_.referees[sn % assign_.referees.size()] != self.id) return;
+  if (designated_referee(sn) != self.id) return;
   referee_convict(self, accusation, now, msg.payload());
 }
 

@@ -466,6 +466,13 @@ class JsonValue {
       v.kind_ = Kind::kNumber;
       v.num_ = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
                            nullptr);
+      // Grammar-valid numerals can still overflow double (e.g. 1e999);
+      // the writer never emits a non-finite value, so reject rather than
+      // let inf/nan leak into specs and artifacts.
+      if (!std::isfinite(v.num_)) {
+        pos = start;
+        fail("number out of range");
+      }
       return v;
     }
   };

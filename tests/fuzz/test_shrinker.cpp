@@ -1,0 +1,204 @@
+// Shrinker correctness: shrunk specs still fail with the same invariant
+// identifier, reductions are 1-minimal w.r.t. the operators, and —
+// non-vacuity — a planted forged-handoff violation on a generated spec
+// survives shrinking with its identifier intact.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "epoch/manager.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/shrinker.hpp"
+#include "harness/runner.hpp"
+
+namespace cyc::fuzz {
+namespace {
+
+using harness::ScenarioEvent;
+using harness::ScenarioSpec;
+using harness::Violation;
+
+ScenarioSpec stressed_spec() {
+  ScenarioSpec spec;
+  spec.name = "shrink/stressed";
+  spec.params.m = 3;
+  spec.params.c = 9;
+  spec.params.lambda = 3;
+  spec.params.referee_size = 5;
+  spec.params.cross_shard_fraction = 0.4;
+  spec.params.invalid_fraction = 0.3;
+  spec.params.capacity_min = 4;
+  spec.params.capacity_max = 16;
+  spec.adversary.corrupt_fraction = 0.2;
+  spec.adversary.mix = {{protocol::Behavior::kInverseVoter, 1.0},
+                        {protocol::Behavior::kLazyVoter, 1.0}};
+  spec.options.extension_precommunication = true;
+  spec.rounds = 4;
+  spec.seeds = {5, 6};
+  spec.events.push_back({1, ScenarioEvent::Target::kNode, 3, 0,
+                         protocol::Behavior::kCrash});
+  spec.events.push_back({2, ScenarioEvent::Target::kLeaderOf, 0, 1,
+                         protocol::Behavior::kEquivocator});
+  spec.events.push_back({3, ScenarioEvent::Target::kRefereeAt, 0, 2,
+                         protocol::Behavior::kLazyVoter});
+  spec.events.push_back({4, ScenarioEvent::Target::kNode, 7, 0,
+                         protocol::Behavior::kFramer});
+  return spec;
+}
+
+/// Synthetic oracle: red iff the spec still schedules an equivocator
+/// event and runs at least 2 rounds. Everything else is noise the
+/// shrinker must strip.
+Oracle equivocator_oracle() {
+  return [](const ScenarioSpec& spec) {
+    std::vector<Violation> out;
+    bool has_equivocator = false;
+    for (const auto& ev : spec.events) {
+      has_equivocator |= ev.behavior == protocol::Behavior::kEquivocator;
+    }
+    if (has_equivocator && spec.rounds >= 2) {
+      out.push_back({"synthetic-equivocator", 1, "planted"});
+    }
+    return out;
+  };
+}
+
+TEST(Shrinker, StripsEverythingNotLoadBearing) {
+  const ShrinkResult result =
+      shrink(stressed_spec(), "synthetic-equivocator", equivocator_oracle());
+  // 1-minimal core: exactly the equivocator event, exactly 2 rounds.
+  ASSERT_EQ(result.spec.events.size(), 1u);
+  EXPECT_EQ(result.spec.events[0].behavior, protocol::Behavior::kEquivocator);
+  EXPECT_EQ(result.spec.rounds, 2u);
+  EXPECT_EQ(result.spec.seeds.size(), 1u);
+  // Stress axes got normalized back to defaults.
+  EXPECT_DOUBLE_EQ(result.spec.adversary.corrupt_fraction, 0.0);
+  const protocol::Params defaults;
+  EXPECT_DOUBLE_EQ(result.spec.params.invalid_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(result.spec.params.cross_shard_fraction,
+                   defaults.cross_shard_fraction);
+  EXPECT_EQ(result.spec.params.capacity_min, defaults.capacity_min);
+  EXPECT_FALSE(result.spec.options.extension_precommunication);
+  // The result still fails with the preserved identifier.
+  EXPECT_EQ(result.invariant, "synthetic-equivocator");
+  bool still_red = false;
+  for (const auto& v : equivocator_oracle()(result.spec)) {
+    still_red |= v.invariant == "synthetic-equivocator";
+  }
+  EXPECT_TRUE(still_red);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_GT(result.accepted, 0u);
+}
+
+TEST(Shrinker, ReducesToTwoEventCore) {
+  // Red iff events target both node 3 AND node 7: ddmin must keep
+  // exactly that pair (<= 2 events) and nothing else.
+  const Oracle pair_oracle = [](const ScenarioSpec& spec) {
+    std::vector<Violation> out;
+    bool a = false;
+    bool b = false;
+    for (const auto& ev : spec.events) {
+      if (ev.target != ScenarioEvent::Target::kNode) continue;
+      a |= ev.node == 3;
+      b |= ev.node == 7;
+    }
+    if (a && b) out.push_back({"synthetic-pair", 1, "planted"});
+    return out;
+  };
+  const ShrinkResult result = shrink(stressed_spec(), "synthetic-pair",
+                                     pair_oracle);
+  ASSERT_EQ(result.spec.events.size(), 2u);
+  EXPECT_EQ(result.spec.events[0].node, 3u);
+  EXPECT_EQ(result.spec.events[1].node, 7u);
+  EXPECT_EQ(result.spec.rounds, 1u);
+  EXPECT_FALSE(pair_oracle(result.spec).empty());
+}
+
+TEST(Shrinker, RejectsGreenSpec) {
+  const Oracle green = [](const ScenarioSpec&) {
+    return std::vector<Violation>{};
+  };
+  EXPECT_THROW(shrink(stressed_spec(), "anything", green),
+               std::invalid_argument);
+  // A spec red on a different identifier is green for this target.
+  EXPECT_THROW(
+      shrink(stressed_spec(), "synthetic-pair", equivocator_oracle()),
+      std::invalid_argument);
+}
+
+TEST(Shrinker, BudgetExhaustionReturnsBestSoFar) {
+  ShrinkOptions options;
+  options.max_attempts = 3;
+  const ShrinkResult result = shrink(stressed_spec(), "synthetic-equivocator",
+                                     equivocator_oracle(), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_LE(result.attempts, 4u);  // precondition probe + budget
+  // Whatever was reached must still be red.
+  EXPECT_FALSE(equivocator_oracle()(result.spec).empty());
+}
+
+/// Non-vacuity against the real invariant suite: run the spec's epoch
+/// lifecycle, forge its first handoff (stale chain head — the §IV-F
+/// continuity break), and surface the checker's verdicts. The planted
+/// violation only exists while the spec still crosses an epoch
+/// boundary, so the shrinker must keep epochs >= 2 while stripping
+/// everything else.
+Oracle forged_handoff_oracle() {
+  return [](const ScenarioSpec& spec) {
+    std::vector<Violation> out;
+    for (std::uint64_t seed : spec.seeds) {
+      const auto outcome = harness::run_scenario(spec, seed);
+      out.insert(out.end(), outcome.violations.begin(),
+                 outcome.violations.end());
+    }
+    if (spec.epochs < 2) return out;
+    protocol::Params params = spec.params;
+    params.seed = spec.seeds.front();
+    epoch::EpochConfig config;
+    config.epochs = spec.epochs;
+    config.rounds_per_epoch = spec.rounds;
+    config.churn_rate = spec.churn_rate;
+    epoch::EpochManager manager(params, spec.adversary, config, spec.options);
+    while (manager.handoffs().empty() && !manager.finished()) {
+      manager.run_round();
+    }
+    if (manager.handoffs().empty()) return out;
+    epoch::EpochHandoff forged = manager.handoffs().front();
+    forged.chain_height += 1;
+    forged.chain_tip = crypto::sha256(bytes_of("phantom-block"));
+    harness::InvariantChecker::check_handoff_state(forged, manager.engine(),
+                                                   out);
+    return out;
+  };
+}
+
+TEST(Shrinker, PlantedForgedHandoffSurvivesShrinking) {
+  // A generated multi-epoch spec with an event schedule (fixed probe
+  // seed; the generator stays the source so the test covers its domain).
+  ScenarioSpec spec;
+  for (std::uint64_t probe = 1;; ++probe) {
+    ASSERT_LT(probe, 500u) << "no multi-epoch spec with events generated";
+    rng::Stream rng(probe);
+    spec = generate_spec(rng);
+    if (spec.epochs >= 2 && !spec.events.empty()) break;
+  }
+  spec.name = "shrink/forged-handoff";
+
+  const Oracle oracle = forged_handoff_oracle();
+  const ShrinkResult result =
+      shrink(spec, "epoch-handoff-continuity", oracle);
+
+  // Acceptance shape: <= 2 events (none are load-bearing here), still
+  // crossing a boundary, and the same invariant identifier still red.
+  EXPECT_LE(result.spec.events.size(), 2u);
+  EXPECT_GE(result.spec.epochs, 2u);
+  EXPECT_EQ(result.spec.seeds.size(), 1u);
+  EXPECT_EQ(result.invariant, "epoch-handoff-continuity");
+  bool still_red = false;
+  for (const auto& v : oracle(result.spec)) {
+    still_red |= v.invariant == "epoch-handoff-continuity";
+  }
+  EXPECT_TRUE(still_red);
+}
+
+}  // namespace
+}  // namespace cyc::fuzz

@@ -255,11 +255,16 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
   const auto matrix = default_matrix();
   // 3 adversary mixes x 2 delay regimes x 2 cross fractions x 2 capacity
   // skews + 2 churn scenarios + committee-shape + high-invalid +
-  // multi-epoch; 2 seeds each.
+  // multi-epoch; 3 seeds each.
   EXPECT_EQ(matrix.size(), 29u);
   std::size_t points = 0;
-  for (const auto& spec : matrix) points += spec.seeds.size();
-  EXPECT_GE(points, 24u);
+  for (const auto& spec : matrix) {
+    points += spec.seeds.size();
+    EXPECT_EQ(spec.seeds.size(), 3u) << spec.name;
+  }
+  EXPECT_EQ(points, 87u);
+  // The crossed axes run 3 rounds (ROADMAP growth item).
+  EXPECT_EQ(matrix.front().rounds, 3u);
   bool has_events = false;
   bool has_epochs = false;
   bool has_shape = false;

@@ -1,0 +1,116 @@
+// ScenarioSpec serde completeness: every field the programmatic builder
+// can set must survive serialize -> parse -> serialize byte-identically,
+// for hand-maxed specs, for the whole default matrix, and for randomized
+// generator output — shrunk fuzz repros are only replayable because of
+// this property.
+#include <gtest/gtest.h>
+
+#include "fuzz/generator.hpp"
+#include "harness/scenario.hpp"
+
+namespace cyc::harness {
+namespace {
+
+void expect_byte_identical_roundtrip(const ScenarioSpec& spec) {
+  const std::string once = spec.to_json_text();
+  const ScenarioSpec parsed = ScenarioSpec::from_json_text(once);
+  const std::string twice = parsed.to_json_text();
+  EXPECT_EQ(once, twice) << "spec '" << spec.name
+                         << "' does not round-trip byte-identically";
+}
+
+TEST(SpecRoundTrip, EveryBuilderFieldSurvives) {
+  // Non-default value in *every* settable field, including the ones the
+  // matrix never sweeps (pow_bits, seed, the phase schedule).
+  ScenarioSpec spec;
+  spec.name = "max/ed-out";
+  spec.params.m = 5;
+  spec.params.c = 7;
+  spec.params.lambda = 4;
+  spec.params.referee_size = 11;
+  spec.params.txs_per_committee = 14;
+  spec.params.cross_shard_fraction = 0.35;
+  spec.params.invalid_fraction = 0.15;
+  spec.params.users = 123;
+  spec.params.capacity_min = 6;
+  spec.params.capacity_max = 48;
+  spec.params.standby = 9;
+  spec.params.pow_bits = 10;
+  spec.params.seed = 77;
+  spec.params.delays.delta = 1.5;
+  spec.params.delays.gamma = 6.5;
+  spec.params.delays.jitter = 2.5;
+  spec.params.config_duration = 9.0;
+  spec.params.semicommit_duration = 25.0;
+  spec.params.intra_duration = 31.0;
+  spec.params.inter_duration = 41.0;
+  spec.params.reputation_duration = 23.0;
+  spec.params.selection_duration = 17.0;
+  spec.params.block_duration = 25.0;
+  spec.adversary.corrupt_fraction = 0.25;
+  spec.adversary.forced_corrupt_leader_fraction = 0.5;
+  spec.adversary.mix = {{protocol::Behavior::kImitator, 0.5},
+                        {protocol::Behavior::kFramer, 2.0}};
+  spec.options.recovery_enabled = false;
+  spec.options.reputation_leader_selection = false;
+  spec.options.leader_bonus = 2.5;
+  spec.options.referee_credit = 0.5;
+  spec.options.max_recoveries_per_committee = 2;
+  spec.options.extension_precommunication = true;
+  spec.options.extension_parallel_blocks = true;
+  spec.rounds = 5;
+  spec.epochs = 3;
+  spec.churn_rate = 0.2;
+  spec.seeds = {3, 9, 27};
+  spec.events.push_back({2, ScenarioEvent::Target::kLeaderOf, 0, 1,
+                         protocol::Behavior::kEquivocator});
+  spec.events.push_back({3, ScenarioEvent::Target::kNode, 12, 0,
+                         protocol::Behavior::kCrash});
+  spec.events.push_back({1, ScenarioEvent::Target::kRefereeAt, 0, 4,
+                         protocol::Behavior::kFramer});
+
+  expect_byte_identical_roundtrip(spec);
+
+  // Field-by-field equality of the parsed spec (byte-identity alone
+  // cannot catch a field missing from both serializer and parser).
+  const ScenarioSpec parsed = ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_EQ(parsed.params.pow_bits, 10u);
+  EXPECT_EQ(parsed.params.seed, 77u);
+  EXPECT_DOUBLE_EQ(parsed.params.delays.delta, 1.5);
+  EXPECT_DOUBLE_EQ(parsed.params.config_duration, 9.0);
+  EXPECT_DOUBLE_EQ(parsed.params.semicommit_duration, 25.0);
+  EXPECT_DOUBLE_EQ(parsed.params.intra_duration, 31.0);
+  EXPECT_DOUBLE_EQ(parsed.params.inter_duration, 41.0);
+  EXPECT_DOUBLE_EQ(parsed.params.reputation_duration, 23.0);
+  EXPECT_DOUBLE_EQ(parsed.params.selection_duration, 17.0);
+  EXPECT_DOUBLE_EQ(parsed.params.block_duration, 25.0);
+  EXPECT_DOUBLE_EQ(parsed.options.leader_bonus, 2.5);
+  EXPECT_DOUBLE_EQ(parsed.options.referee_credit, 0.5);
+  EXPECT_FALSE(parsed.options.reputation_leader_selection);
+  EXPECT_TRUE(parsed.options.extension_precommunication);
+  EXPECT_TRUE(parsed.options.extension_parallel_blocks);
+  ASSERT_EQ(parsed.events.size(), 3u);
+  EXPECT_EQ(parsed.events[1].node, 12u);
+  EXPECT_EQ(parsed.seeds, spec.seeds);
+}
+
+TEST(SpecRoundTrip, DefaultAndDefaultMatrixSpecs) {
+  expect_byte_identical_roundtrip(ScenarioSpec{});
+  for (const ScenarioSpec& spec : default_matrix()) {
+    expect_byte_identical_roundtrip(spec);
+  }
+}
+
+TEST(SpecRoundTrip, RandomizedGeneratorSpecs) {
+  // The fuzzer's whole output domain must round-trip: its shrunk repros
+  // are written to disk and replayed via scenario_runner --spec.
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    rng::Stream rng(seed);
+    ScenarioSpec spec = fuzz::generate_spec(rng);
+    spec.name = "roundtrip/" + std::to_string(seed);
+    expect_byte_identical_roundtrip(spec);
+  }
+}
+
+}  // namespace
+}  // namespace cyc::harness

@@ -1,0 +1,103 @@
+// JsonValue parser edge cases: hostile / malformed input must raise
+// JsonParseError (never UB — this file runs under the ASan/UBSan gate
+// like the rest of the suite): deep nesting, duplicate keys, trailing
+// garbage, NaN / overflow numerals, and escape-sequence corner cases.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace cyc::support {
+namespace {
+
+std::string nested(std::size_t depth, char open, char close,
+                   const std::string& core) {
+  std::string s(depth, open);
+  s += core;
+  s.append(depth, close);
+  return s;
+}
+
+TEST(JsonEdge, DeepNestingIsBoundedNotStackSmashed) {
+  // 256 containers parse; one more is a diagnostic, not a crash.
+  EXPECT_NO_THROW(JsonValue::parse(nested(256, '[', ']', "1")));
+  EXPECT_THROW(JsonValue::parse(nested(257, '[', ']', "1")), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(std::string(100000, '[')), JsonParseError);
+  // Objects hit the same bound, including mixed nesting.
+  std::string deep_obj;
+  for (int i = 0; i < 300; ++i) deep_obj += "{\"k\":[";
+  EXPECT_THROW(JsonValue::parse(deep_obj), JsonParseError);
+}
+
+TEST(JsonEdge, DuplicateKeysKeepFirstDeterministically) {
+  const auto v = JsonValue::parse(R"({"a":1,"b":2,"a":3})");
+  // All members are retained in insertion order; lookup is first-wins.
+  EXPECT_EQ(v.as_object().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("b", 0.0), 2.0);
+}
+
+TEST(JsonEdge, TrailingGarbageRejected) {
+  EXPECT_THROW(JsonValue::parse("1 x"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{} {}"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,2] tail"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("truefalse"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1,"), JsonParseError);
+  // Leading whitespace is fine; trailing whitespace is fine.
+  EXPECT_NO_THROW(JsonValue::parse("  [1] \n\t"));
+}
+
+TEST(JsonEdge, NanAndOverflowNumeralsRejected) {
+  // Not in the RFC 8259 grammar at all.
+  EXPECT_THROW(JsonValue::parse("nan"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("NaN"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("Infinity"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("-inf"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("+1"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("01"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1."), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(".5"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1e"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1e+"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("-"), JsonParseError);
+  // Grammar-valid but overflows double: rejected, not inf.
+  EXPECT_THROW(JsonValue::parse("1e999"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("-1e999"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,1e999]"), JsonParseError);
+  // Near the edge stays fine (and finite).
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e308").as_number(), 1e308);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e-300").as_number(), -1.5e-300);
+}
+
+TEST(JsonEdge, EscapeSequenceCorners) {
+  // Valid escapes, including a surrogate pair -> UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse(R"("\u2603")").as_string(), "\xe2\x98\x83");
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_EQ(JsonValue::parse(R"("\b\f\/")").as_string(), "\b\f/");
+  // Malformed escapes are diagnostics, not UB.
+  EXPECT_THROW(JsonValue::parse(R"("\q")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\u12")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\u12zz")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\ud800x")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\ud800A")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse(R"("\udc00")"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"\\"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"\\u123"), JsonParseError);
+}
+
+TEST(JsonEdge, ParseErrorCarriesOffset) {
+  try {
+    JsonValue::parse("[1, 1e999]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);  // points at the offending numeral
+  }
+}
+
+}  // namespace
+}  // namespace cyc::support

@@ -1,0 +1,144 @@
+// fuzz_runner — sample threat-model-bounded random scenarios, run every
+// invariant on every point, and shrink any failure to a minimal
+// replayable repro.
+//
+//   fuzz_runner [--seed N] [--budget N] [--out FILE] [--dir DIR]
+//               [--threads N] [--print]
+//
+// Samples `--budget` ScenarioSpecs (default 200) from `--seed` (default
+// 1), bounded by the §III threat model (src/fuzz/generator.hpp), and
+// executes each through the invariant harness. Any red invariant is
+// delta-debugged to a minimal spec that still flags the same invariant
+// identifier; the shrunk repro is written to --dir (default
+// bench/out/FUZZ_failures/) as a JSON spec replayable via
+// `scenario_runner --spec`. The campaign artifact goes to --out
+// (default bench/out/FUZZ.json) and is a pure function of
+// (seed, budget): byte-identical across runs and thread counts.
+//
+// Exit status: 0 when every spec ran green, 1 on any surviving failure,
+// 2 on usage errors.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+
+using namespace cyc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--budget N] [--out FILE] [--dir DIR] "
+               "[--threads N] [--print]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end == nullptr || end == text || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::CampaignOptions options;
+  std::string out_path = "bench/out/FUZZ.json";
+  std::string corpus_dir = "bench/out/FUZZ_failures";
+  bool print_artifact = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg == "--seed" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], value)) {
+        std::fprintf(stderr, "fuzz_runner: --seed expects an integer\n");
+        return 2;
+      }
+      options.seed = value;
+    } else if (arg == "--budget" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], value) || value == 0) {
+        std::fprintf(stderr,
+                     "fuzz_runner: --budget expects a positive integer\n");
+        return 2;
+      }
+      options.budget = static_cast<std::size_t>(value);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], value) || value > 0xffffffffull) {
+        std::fprintf(stderr,
+                     "fuzz_runner: --threads expects a non-negative 32-bit "
+                     "integer\n");
+        return 2;
+      }
+      options.threads = static_cast<unsigned>(value);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--dir" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg == "--print") {
+      print_artifact = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const fuzz::CampaignResult result = fuzz::run_campaign(options);
+
+  std::printf("=== Scenario fuzz: seed %llu, %zu specs, %zu points ===\n",
+              static_cast<unsigned long long>(options.seed), result.specs_run,
+              result.points_run);
+  for (const auto& failure : result.failures) {
+    std::printf("FAILURE spec %zu [%s]: %zu violation(s), shrunk %zu -> %zu "
+                "events in %zu attempts\n",
+                failure.index, failure.shrunk.invariant.c_str(),
+                failure.violations.size(), failure.original.events.size(),
+                failure.shrunk.spec.events.size(), failure.shrunk.attempts);
+    std::printf("    first: round %llu: %s\n",
+                static_cast<unsigned long long>(
+                    failure.violations.front().round),
+                failure.violations.front().detail.c_str());
+  }
+  std::printf("failures: %zu across %zu specs -> %s\n",
+              result.failures.size(), result.specs_run,
+              result.all_green() ? "ALL GREEN" : "FAILED");
+
+  try {
+    const auto paths = fuzz::write_failure_corpus(result, corpus_dir);
+    for (const auto& path : paths) {
+      std::printf("repro: %s\n", path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fuzz_runner: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string artifact = fuzz::campaign_json(options, result);
+  if (print_artifact) std::printf("%s\n", artifact.c_str());
+  if (!out_path.empty()) {
+    const auto parent = std::filesystem::path(out_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);  // best effort
+    }
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "fuzz_runner: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << artifact << '\n';
+    std::printf("artifact: %s\n", out_path.c_str());
+  }
+
+  return result.all_green() ? 0 : 1;
+}

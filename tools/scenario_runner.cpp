@@ -6,7 +6,7 @@
 // With no --spec, runs the built-in bounded default matrix (3 adversary
 // mixes x 2 delay regimes x 2 cross-shard fractions x 2 capacity skews
 // plus mid-run churn, committee-shape, high-invalid-fraction and
-// multi-epoch scenarios = 29 scenarios, 2 seeds each = 58 points).
+// multi-epoch scenarios = 29 scenarios, 3 seeds each = 87 points).
 // --spec FILE loads a JSON scenario list (one object, an array, or
 // {"scenarios": [...]}); multi-epoch scenarios set "epochs" /
 // "churn_rate" (see src/epoch/README.md). The JSON artifact goes to
