@@ -32,6 +32,17 @@ echo "=== scenario matrix (sanitized) ==="
 "$BUILD_DIR/scenario_runner" --out "$BUILD_DIR/SCENARIOS.asan.json"
 
 echo
+echo "=== regression corpus replay (sanitized) ==="
+# Checked-in fault-schedule specs (and promoted shrunk fuzzer repros):
+# every one must replay green through the full invariant suite.
+# set -e makes any violation (exit 1) or parse error (exit 2) fatal.
+for spec in tests/corpus/*.json; do
+  echo "replay: $spec"
+  "$BUILD_DIR/scenario_runner" --spec "$spec" \
+    --out "$BUILD_DIR/corpus-$(basename "$spec" .json).asan.json"
+done
+
+echo
 echo "=== scenario fuzz (Release, fixed seed) ==="
 scripts/run_fuzz.sh
 

@@ -110,6 +110,72 @@ std::vector<ScenarioEvent> sample_events(rng::Stream& rng,
   return events;
 }
 
+/// Fault-fabric schedule, appended after the corruption events. Every
+/// sampled schedule is structurally legal: a restart trails its crash by
+/// two rounds (the crash takes effect one round after the event,
+/// §III-C, and the restart must find the node down), partition islands
+/// are whole committees, and explicit heals land inside the run.
+void sample_fault_events(rng::Stream& rng, const FuzzBounds& bounds,
+                         const protocol::Params& params,
+                         std::size_t total_rounds,
+                         std::vector<ScenarioEvent>& events) {
+  const std::size_t partitions =
+      static_cast<std::size_t>(rng.below(bounds.max_partitions + 1));
+  for (std::size_t i = 0; i < partitions; ++i) {
+    ScenarioEvent cut;
+    cut.kind = ScenarioEvent::Kind::kPartition;
+    cut.target = ScenarioEvent::Target::kCommittee;
+    cut.committee = static_cast<std::uint32_t>(rng.below(params.m));
+    cut.round = 1 + rng.below(total_rounds);
+    cut.duration = 1 + rng.below(2);
+    events.push_back(cut);
+    // Half the cuts also get an explicit heal one round in — exercising
+    // the kHeal path; the rest expire through their duration.
+    if (cut.round + 1 <= total_rounds && rng.chance(0.5)) {
+      ScenarioEvent heal;
+      heal.kind = ScenarioEvent::Kind::kHeal;
+      heal.round = cut.round + 1;
+      events.push_back(heal);
+    }
+  }
+
+  if (total_rounds >= 3) {
+    const std::size_t pairs =
+        static_cast<std::size_t>(rng.below(bounds.max_crash_restarts + 1));
+    for (std::size_t i = 0; i < pairs; ++i) {
+      ScenarioEvent crash;
+      crash.kind = ScenarioEvent::Kind::kCrash;
+      crash.target = ScenarioEvent::Target::kNode;
+      crash.node = static_cast<net::NodeId>(rng.below(params.total_nodes()));
+      crash.round = 1 + rng.below(total_rounds - 2);
+      events.push_back(crash);
+      ScenarioEvent back;
+      back.kind = ScenarioEvent::Kind::kRestart;
+      back.target = ScenarioEvent::Target::kNode;
+      back.node = crash.node;
+      back.round = crash.round + 2;
+      events.push_back(back);
+    }
+  }
+
+  const std::size_t blackouts =
+      static_cast<std::size_t>(rng.below(bounds.max_blackouts + 1));
+  for (std::size_t i = 0; i < blackouts; ++i) {
+    ScenarioEvent dark;
+    dark.kind = ScenarioEvent::Kind::kBlackout;
+    if (rng.chance(0.5)) {
+      dark.target = ScenarioEvent::Target::kNode;
+      dark.node = static_cast<net::NodeId>(rng.below(params.total_nodes()));
+    } else {
+      dark.target = ScenarioEvent::Target::kLeaderOf;
+      dark.committee = static_cast<std::uint32_t>(rng.below(params.m));
+    }
+    dark.round = 1 + rng.below(total_rounds);
+    dark.duration = 1;
+    events.push_back(dark);
+  }
+}
+
 /// Corrupt seats a spec can field in any one round: the genesis draw
 /// (plus forced leaders and every scheduled event — each corrupts at
 /// most one extra node). The misvote budget additionally weights by the
@@ -137,7 +203,17 @@ CorruptBudget corrupt_budget(const ScenarioSpec& spec) {
     if (misvotes_as_member(entry.behavior)) misvote_weight += entry.weight;
   }
   const double share = total_weight > 0.0 ? misvote_weight / total_weight : 0.0;
-  const auto events = static_cast<std::uint32_t>(spec.events.size());
+  // Only key-corruption events spend adversary budget; fault-fabric
+  // events (partition / restart / heal / blackout) impair connectivity,
+  // which the invariant suite accounts for separately (severed /
+  // impaired exemptions), not votes.
+  std::uint32_t events = 0;
+  for (const auto& ev : spec.events) {
+    if (ev.kind == ScenarioEvent::Kind::kCorrupt ||
+        ev.kind == ScenarioEvent::Kind::kCrash) {
+      events += 1;
+    }
+  }
   std::uint32_t forced = 0;
   if (spec.adversary.forced_corrupt_leader_fraction > 0.0) {
     forced = static_cast<std::uint32_t>(
@@ -245,6 +321,18 @@ ScenarioSpec generate_spec(rng::Stream& rng, const FuzzBounds& bounds) {
 
     spec.events =
         sample_events(rng, bounds, spec.params, spec.rounds * spec.epochs);
+    sample_fault_events(rng, bounds, spec.params, spec.rounds * spec.epochs,
+                        spec.events);
+    // Probabilistic wide-area loss on ~30% of specs; intra-committee
+    // links stay reliable per the synchronous-Δ assumption (§III-B).
+    if (rng.chance(0.3)) {
+      constexpr std::array<double, 3> kDrop = {0.02, 0.05, 0.1};
+      constexpr std::array<double, 3> kDuplicate = {0.0, 0.05, 0.1};
+      constexpr std::array<double, 3> kReorder = {0.0, 0.25, 0.5};
+      spec.params.faults.drop = std::min(pick(rng, kDrop), bounds.max_drop);
+      spec.params.faults.duplicate = pick(rng, kDuplicate);
+      spec.params.faults.reorder = pick(rng, kReorder);
+    }
 
     const CorruptBudget budget = corrupt_budget(spec);
     if (spec_failure_tail(spec.params.total_nodes(), budget.misvoters,

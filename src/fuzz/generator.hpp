@@ -40,6 +40,18 @@ struct FuzzBounds {
   /// Sample the §VIII extension toggles (precommunication / parallel
   /// blocks) and the uniform-leader ablation into EngineOptions.
   bool fuzz_options = true;
+  /// Fault-fabric axes (src/net/faults.*): partitions cut whole
+  /// committees (the quorum-relevant island), crash-restart pairs probe
+  /// the catch-up lifecycle, blackouts silence individual nodes, and a
+  /// probabilistic profile losses the wide-area link classes. Sampled
+  /// schedules are legal by construction: restarts trail their crash by
+  /// two rounds and partitions heal via duration or an explicit heal —
+  /// and they stay legal under ddmin (a restart without its crash is a
+  /// no-op; a partition without its heal expires on its own).
+  std::size_t max_partitions = 1;
+  std::size_t max_crash_restarts = 1;
+  std::size_t max_blackouts = 1;
+  double max_drop = 0.1;             ///< per-message loss ceiling
 };
 
 /// Sample one spec. Deterministic in (rng state, bounds); the caller

@@ -183,6 +183,10 @@ struct Shrinker {
     });
     if (exhausted) return changed;
     changed |= normalize([&](ScenarioSpec& s) {
+      s.params.faults = protocol::FaultProfile{};
+    });
+    if (exhausted) return changed;
+    changed |= normalize([&](ScenarioSpec& s) {
       s.options = protocol::EngineOptions{};
     });
     if (exhausted) return changed;

@@ -54,6 +54,17 @@ std::size_t InvariantChecker::check_round(const protocol::RoundReport& report) {
             " ground-truth-invalid txs reached the block");
   }
 
+  // Catch-up audit runs before the block replay below: a node that
+  // resynced during this round was served the *pre-round* state, which
+  // is exactly what mirror_ still holds here (last round's tip is this
+  // block's prev_hash).
+  if (!report.catchup_events.empty()) {
+    check_catchup(report.catchup_events,
+                  protocol::catchup_state_digest(
+                      engine_.last_block().header.prev_hash, mirror_),
+                  round, violations_);
+  }
+
   check_chain(report);
   check_block_txs(engine_.last_block(), engine_.params().m, committed_ids_,
                   spent_, mirror_, round, violations_);
@@ -455,7 +466,11 @@ void InvariantChecker::check_recovery(const protocol::RoundReport& report) {
       add("recovery-bounds", round,
           "recovery event carries round " + std::to_string(event.round));
     }
-    if (!engine_.misbehaved(event.old_leader, round)) {
+    // An unreachable-but-honest leader (blackout, partition island) is
+    // legitimately replaced — the committee cannot tell silence from a
+    // crash, and the paper's timeout machinery must fire either way.
+    if (!engine_.misbehaved(event.old_leader, round) &&
+        !engine_.impaired(event.old_leader, round)) {
       add("honest-leader-evicted", round,
           "honest node " + std::to_string(event.old_leader) +
               " was evicted from committee " +
@@ -473,9 +488,44 @@ void InvariantChecker::check_recovery(const protocol::RoundReport& report) {
     }
   }
   for (net::NodeId id : engine_.convicted_leaders()) {
-    if (!engine_.misbehaved(id, round)) {
+    if (!engine_.misbehaved(id, round) && !engine_.impaired(id, round)) {
       add("honest-leader-convicted", round,
           "honest node " + std::to_string(id) + " was convicted");
+    }
+  }
+}
+
+void InvariantChecker::check_partition_round(
+    const protocol::CommitteeRoundStats& stats, bool severed_last_round,
+    bool eligible, std::uint64_t round, std::vector<Violation>& out) {
+  if (stats.severed && stats.produced_output) {
+    out.push_back({"partition-no-straddle", round,
+                   "committee " + std::to_string(stats.committee) +
+                       " certified output while severed below referee "
+                       "quorum"});
+  }
+  if (!stats.severed && severed_last_round && eligible &&
+      !stats.produced_output) {
+    out.push_back({"partition-liveness-resume", round,
+                   "committee " + std::to_string(stats.committee) +
+                       " healed from a partition but produced no certified "
+                       "output on its first healthy round"});
+  }
+}
+
+void InvariantChecker::check_catchup(
+    const std::vector<protocol::CatchUpRecord>& events,
+    const crypto::Digest& expected, std::uint64_t round,
+    std::vector<Violation>& out) {
+  for (const auto& ev : events) {
+    if (!ev.success) continue;
+    if (ev.adopted_digest != expected) {
+      out.push_back({"restart-replay-digest", round,
+                     "node " + std::to_string(ev.node) +
+                         " adopted a catch-up digest (confirmed by " +
+                         std::to_string(ev.confirms) +
+                         " referees) that differs from the honest block-"
+                         "replay digest"});
     }
   }
 }
@@ -484,6 +534,10 @@ void InvariantChecker::check_liveness(const protocol::RoundReport& report) {
   const std::uint64_t round = report.round;
   const auto& assignment = engine_.last_assignment();
   const auto& options = engine_.options();
+  // Probabilistic wide-area loss makes any single round's output
+  // best-effort: an intra result that never reaches a referee quorum is
+  // correct degradation, not a liveness bug. Safety checks stay armed.
+  const bool lossy = engine_.params().faults.drop > 0.0;
   // The recovery path runs through C_R (impeachment prosecution and the
   // re-selection consensus, Alg. 6): without an honest-active majority
   // of referees a faulty-leader committee legitimately cannot recover,
@@ -491,35 +545,55 @@ void InvariantChecker::check_liveness(const protocol::RoundReport& report) {
   // itself is inside the threat model.
   std::size_t honest_referees = 0;
   for (net::NodeId id : assignment.referees) {
-    if (!engine_.misbehaved(id, round) && engine_.active(id, round)) {
+    if (!engine_.misbehaved(id, round) && engine_.active(id, round) &&
+        !engine_.impaired(id, round)) {
       honest_referees += 1;
     }
   }
   const bool referees_ok = honest_referees * 2 > assignment.referees.size();
+  if (severed_prev_.size() < report.committees.size()) {
+    severed_prev_.resize(report.committees.size(), false);
+  }
   for (const auto& stats : report.committees) {
     if (stats.committee >= assignment.committees.size()) continue;
+    const bool was_severed = stats.committee < severed_prev_.size() &&
+                             severed_prev_[stats.committee];
+    if (stats.committee < severed_prev_.size()) {
+      severed_prev_[stats.committee] = stats.severed;
+    }
     const auto& info = assignment.committees[stats.committee];
     const auto members = info.all_members();
+    // Impaired (blacked-out / islanded) members cannot contribute to a
+    // quorum this round, so they count as inactive for liveness demands.
+    auto contributes = [&](net::NodeId id) {
+      return !engine_.misbehaved(id, round) && engine_.active(id, round) &&
+             !engine_.impaired(id, round);
+    };
     std::size_t honest_active = 0;
     for (net::NodeId id : members) {
-      if (!engine_.misbehaved(id, round) && engine_.active(id, round)) {
-        honest_active += 1;
-      }
+      if (contributes(id)) honest_active += 1;
     }
-    if (honest_active * 2 <= members.size()) continue;  // adversarial majority
+    const bool honest_majority = honest_active * 2 > members.size();
 
-    const bool leader_ok = !engine_.misbehaved(info.leader, round) &&
-                           engine_.active(info.leader, round);
+    const bool leader_ok = contributes(info.leader);
     bool recoverable = false;
     if (options.recovery_enabled && referees_ok &&
         stats.recoveries < options.max_recoveries_per_committee) {
       for (net::NodeId id : info.partial) {
-        if (!engine_.misbehaved(id, round) && engine_.active(id, round)) {
+        if (contributes(id)) {
           recoverable = true;
           break;
         }
       }
     }
+    const bool eligible =
+        !lossy && honest_majority && (leader_ok || recoverable);
+    check_partition_round(stats, was_severed, eligible, round, violations_);
+    // A committee severed this round (or re-forming right after a heal)
+    // is exempt from the ordinary liveness demand; so is every committee
+    // when the wide-area links drop messages.
+    if (stats.severed || was_severed || lossy) continue;
+    if (!honest_majority) continue;  // adversarial majority
     if ((leader_ok || recoverable) && !stats.produced_output) {
       add("commit-or-recover", round,
           "honest-majority committee " + std::to_string(stats.committee) +
@@ -539,7 +613,10 @@ void InvariantChecker::check_reputation(const protocol::RoundReport& report) {
   for (std::size_t i = 0; i < engine_.node_count(); ++i) {
     const auto id = static_cast<net::NodeId>(i);
     const double now = engine_.reputation(id);
-    if (!engine_.misbehaved(id, round)) {
+    // An impaired (blacked-out / islanded) node is indistinguishable
+    // from a crashed one, so a conviction-sized punishment on it is
+    // correct protocol behaviour, not a cliff on an honest node.
+    if (!engine_.misbehaved(id, round) && !engine_.impaired(id, round)) {
       const double delta = now - prev_reputation_[i];
       if (delta < -kMaxHonestDrop) {
         add("honest-reputation-cliff", round,

@@ -34,6 +34,18 @@
 //   honest-reputation-cliff      honest reputation never takes a conviction-
 //                                sized drop (vote scores are bounded by 1)
 //
+// Fault-fabric invariants (partitions / crash-restart, src/net/faults.*):
+//   partition-no-straddle        a committee severed below referee quorum
+//                                certifies no output while cut off
+//   partition-liveness-resume    a healed, eligible committee resumes
+//                                output on its first healthy round
+//   restart-replay-digest        a restarted node's adopted catch-up state
+//                                equals the honest block-replay digest
+//
+// Probabilistic message loss (params.faults.drop > 0) parks the liveness
+// checks — any single round's output is best-effort under loss — but
+// every safety invariant above stays armed.
+//
 // Epoch-boundary invariants (checked against each EpochHandoff record,
 // src/epoch/):
 //   epoch-handoff-continuity     record matches the post-reconfiguration
@@ -112,6 +124,21 @@ class InvariantChecker {
                          std::size_t carryover_size, std::uint64_t round,
                          std::vector<Violation>& out);
 
+  /// Partition discipline for one committee-round: a severed committee
+  /// must not certify output (no-straddle), and a committee severed last
+  /// round that is healthy and `eligible` now must resume producing.
+  static void check_partition_round(const protocol::CommitteeRoundStats& stats,
+                                    bool severed_last_round, bool eligible,
+                                    std::uint64_t round,
+                                    std::vector<Violation>& out);
+
+  /// Crash-restart audit: every successful catch-up must have adopted
+  /// exactly `expected` — the digest an honest replay of the committed
+  /// chain produces for the state the referees served.
+  static void check_catchup(const std::vector<protocol::CatchUpRecord>& events,
+                            const crypto::Digest& expected,
+                            std::uint64_t round, std::vector<Violation>& out);
+
   /// Handoff vs engine state: continuity (chain head, shard digests,
   /// randomness), tx preservation (Remaining TX List size + digest) and
   /// reputation conservation of surviving members. A forged record — a
@@ -156,6 +183,7 @@ class InvariantChecker {
   std::set<std::string> committed_ids_;    ///< across all checked rounds
   std::unordered_set<ledger::OutPoint, ledger::OutPointHash> spent_;
   std::vector<double> prev_reputation_;
+  std::vector<bool> severed_prev_;         ///< per committee, last round
   ledger::Amount prev_total_value_ = 0;
   std::size_t base_height_ = 0;
   std::size_t rounds_checked_ = 0;

@@ -8,30 +8,62 @@ namespace cyc::harness {
 namespace {
 
 // Mid-run corruption / churn: requested at round start, effective one
-// round later (§III-C). Targets resolve against the round's roles.
+// round later (§III-C). Fault-fabric events (partition / blackout /
+// restart) take effect immediately — they model the network, not key
+// corruption. Targets resolve against the round's roles.
 void apply_events(const ScenarioSpec& spec, protocol::Engine& engine,
                   std::uint64_t round) {
   for (const auto& ev : spec.events) {
     if (ev.round != round) continue;
-    net::NodeId victim = net::kNoNode;
+    std::vector<net::NodeId> victims;
     switch (ev.target) {
       case ScenarioEvent::Target::kNode:
-        if (ev.node < engine.node_count()) victim = ev.node;
+        if (ev.node < engine.node_count()) victims.push_back(ev.node);
         break;
       case ScenarioEvent::Target::kLeaderOf:
         if (ev.committee < engine.assignment().committees.size()) {
-          victim = engine.assignment().committees[ev.committee].leader;
+          victims.push_back(engine.assignment().committees[ev.committee].leader);
         }
         break;
       case ScenarioEvent::Target::kRefereeAt:
         if (!engine.assignment().referees.empty()) {
-          victim = engine.assignment()
-                       .referees[ev.committee %
-                                 engine.assignment().referees.size()];
+          victims.push_back(engine.assignment()
+                                .referees[ev.committee %
+                                          engine.assignment().referees.size()]);
+        }
+        break;
+      case ScenarioEvent::Target::kCommittee:
+        if (ev.committee < engine.assignment().committees.size()) {
+          victims = engine.assignment().committees[ev.committee].all_members();
         }
         break;
     }
-    if (victim != net::kNoNode) engine.corrupt(victim, ev.behavior);
+    switch (ev.kind) {
+      case ScenarioEvent::Kind::kCorrupt:
+        for (net::NodeId v : victims) engine.corrupt(v, ev.behavior);
+        break;
+      case ScenarioEvent::Kind::kCrash:
+        for (net::NodeId v : victims) {
+          engine.corrupt(v, protocol::Behavior::kCrash);
+        }
+        break;
+      case ScenarioEvent::Kind::kRestart:
+        for (net::NodeId v : victims) engine.restart(v);
+        break;
+      case ScenarioEvent::Kind::kPartition:
+        if (!victims.empty()) {
+          engine.partition(victims, ev.round, ev.round + ev.duration);
+        }
+        break;
+      case ScenarioEvent::Kind::kHeal:
+        engine.heal(ev.round);
+        break;
+      case ScenarioEvent::Kind::kBlackout:
+        for (net::NodeId v : victims) {
+          engine.blackout(v, ev.round, ev.round + ev.duration);
+        }
+        break;
+    }
   }
 }
 

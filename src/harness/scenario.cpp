@@ -67,6 +67,11 @@ protocol::Params params_from_json(const JsonValue& v,
   p.delays.delta = v.number_or("delta", p.delays.delta);
   p.delays.gamma = v.number_or("gamma", p.delays.gamma);
   p.delays.jitter = v.number_or("jitter", p.delays.jitter);
+  p.faults.drop = v.number_or("fault_drop", p.faults.drop);
+  p.faults.duplicate = v.number_or("fault_duplicate", p.faults.duplicate);
+  p.faults.reorder = v.number_or("fault_reorder", p.faults.reorder);
+  p.faults.reorder_scale =
+      v.number_or("fault_reorder_scale", p.faults.reorder_scale);
   p.config_duration = v.number_or("config_duration", p.config_duration);
   p.semicommit_duration =
       v.number_or("semicommit_duration", p.semicommit_duration);
@@ -115,9 +120,36 @@ protocol::EngineOptions options_from_json(const JsonValue& v) {
   return o;
 }
 
+bool event_kind_from_token(std::string_view token, ScenarioEvent::Kind& out) {
+  if (token == "corrupt") out = ScenarioEvent::Kind::kCorrupt;
+  else if (token == "crash") out = ScenarioEvent::Kind::kCrash;
+  else if (token == "restart") out = ScenarioEvent::Kind::kRestart;
+  else if (token == "partition") out = ScenarioEvent::Kind::kPartition;
+  else if (token == "heal") out = ScenarioEvent::Kind::kHeal;
+  else if (token == "blackout") out = ScenarioEvent::Kind::kBlackout;
+  else return false;
+  return true;
+}
+
+std::string_view event_kind_token(ScenarioEvent::Kind k) {
+  switch (k) {
+    case ScenarioEvent::Kind::kCorrupt: return "corrupt";
+    case ScenarioEvent::Kind::kCrash: return "crash";
+    case ScenarioEvent::Kind::kRestart: return "restart";
+    case ScenarioEvent::Kind::kPartition: return "partition";
+    case ScenarioEvent::Kind::kHeal: return "heal";
+    case ScenarioEvent::Kind::kBlackout: return "blackout";
+  }
+  return "corrupt";
+}
+
 ScenarioEvent event_from_json(const JsonValue& v) {
   ScenarioEvent ev;
   ev.round = u64_field(v, "round", ev.round);
+  const std::string kind = v.string_or("kind", "corrupt");
+  if (!event_kind_from_token(kind, ev.kind)) {
+    throw std::runtime_error("scenario: unknown event kind '" + kind + "'");
+  }
   const std::string target = v.string_or("target", "node");
   if (target == "node") {
     ev.target = ScenarioEvent::Target::kNode;
@@ -128,12 +160,19 @@ ScenarioEvent event_from_json(const JsonValue& v) {
   } else if (target == "referee-at") {
     ev.target = ScenarioEvent::Target::kRefereeAt;
     ev.committee = u32_field(v, "committee", ev.committee);
+  } else if (target == "committee") {
+    ev.target = ScenarioEvent::Target::kCommittee;
+    ev.committee = u32_field(v, "committee", ev.committee);
   } else {
     throw std::runtime_error("scenario: unknown event target '" + target + "'");
   }
   const std::string token = v.string_or("behavior", "crash");
   if (!behavior_from_token(token, ev.behavior)) {
     throw std::runtime_error("scenario: unknown behavior '" + token + "'");
+  }
+  ev.duration = u64_field(v, "duration", ev.duration);
+  if (ev.duration == 0) {
+    throw std::runtime_error("scenario: event duration must be > 0");
   }
   return ev;
 }
@@ -143,6 +182,7 @@ std::string_view event_target_token(ScenarioEvent::Target t) {
     case ScenarioEvent::Target::kNode: return "node";
     case ScenarioEvent::Target::kLeaderOf: return "leader-of";
     case ScenarioEvent::Target::kRefereeAt: return "referee-at";
+    case ScenarioEvent::Target::kCommittee: return "committee";
   }
   return "node";
 }
@@ -238,6 +278,14 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
   w.field("delta", params.delays.delta);
   w.field("gamma", params.delays.gamma);
   w.field("jitter", params.delays.jitter);
+  // Emitted only when probabilistic faults are on: legacy specs stay
+  // byte-identical, and reorder_scale is meaningless without an axis.
+  if (params.faults.any()) {
+    w.field("fault_drop", params.faults.drop);
+    w.field("fault_duplicate", params.faults.duplicate);
+    w.field("fault_reorder", params.faults.reorder);
+    w.field("fault_reorder_scale", params.faults.reorder_scale);
+  }
   w.field("config_duration", params.config_duration);
   w.field("semicommit_duration", params.semicommit_duration);
   w.field("intra_duration", params.intra_duration);
@@ -282,15 +330,26 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
   w.key("events");
   w.begin_array();
   for (const auto& ev : events) {
+    // Omit-when-default keeps legacy (corrupt-only) specs byte-identical
+    // to their pre-fault-fabric encoding.
     w.begin_object();
     w.field("round", ev.round);
+    if (ev.kind != ScenarioEvent::Kind::kCorrupt) {
+      w.field("kind", event_kind_token(ev.kind));
+    }
     w.field("target", event_target_token(ev.target));
     if (ev.target == ScenarioEvent::Target::kNode) {
       w.field("node", ev.node);
     } else {
       w.field("committee", ev.committee);
     }
-    w.field("behavior", behavior_token(ev.behavior));
+    if (ev.kind == ScenarioEvent::Kind::kCorrupt) {
+      w.field("behavior", behavior_token(ev.behavior));
+    }
+    if (ev.kind == ScenarioEvent::Kind::kPartition ||
+        ev.kind == ScenarioEvent::Kind::kBlackout) {
+      w.field("duration", ev.duration);
+    }
     w.end_object();
   }
   w.end_array();
@@ -483,6 +542,60 @@ std::vector<ScenarioSpec> default_matrix() {
     invalid.rounds = 2;
     invalid.seeds = axes.seeds;
     matrix.push_back(invalid);
+  }
+
+  // Fault-fabric scenarios (tentpole): a committee partitioned below
+  // quorum then healed, a crash -> restart -> referee catch-up lifecycle,
+  // and probabilistic loss on the wide-area links. All must stay green:
+  // the invariant checker parks commit-or-recover for severed / lossy
+  // points but keeps every safety check armed.
+  {
+    ScenarioSpec partition;
+    partition.name = "faults/partition-heal";
+    partition.params = axes.base;
+    partition.rounds = 4;
+    partition.seeds = axes.seeds;
+    ScenarioEvent cut;
+    cut.round = 2;
+    cut.kind = ScenarioEvent::Kind::kPartition;
+    cut.target = ScenarioEvent::Target::kCommittee;
+    cut.committee = 0;
+    cut.duration = 2;  // would cover rounds 2-3...
+    partition.events.push_back(cut);
+    ScenarioEvent heal;
+    heal.round = 3;  // ...but an explicit heal closes it after round 2
+    heal.kind = ScenarioEvent::Kind::kHeal;
+    partition.events.push_back(heal);
+    matrix.push_back(partition);
+
+    ScenarioSpec restart;
+    restart.name = "faults/crash-restart";
+    restart.params = axes.base;
+    restart.rounds = 4;
+    restart.seeds = axes.seeds;
+    ScenarioEvent crash;
+    crash.round = 1;
+    crash.kind = ScenarioEvent::Kind::kCrash;
+    crash.target = ScenarioEvent::Target::kNode;
+    crash.node = 13;
+    restart.events.push_back(crash);
+    ScenarioEvent back;
+    back.round = 3;
+    back.kind = ScenarioEvent::Kind::kRestart;
+    back.target = ScenarioEvent::Target::kNode;
+    back.node = 13;
+    restart.events.push_back(back);
+    matrix.push_back(restart);
+
+    ScenarioSpec lossy;
+    lossy.name = "faults/lossy-wan";
+    lossy.params = axes.base;
+    lossy.params.faults.drop = 0.1;
+    lossy.params.faults.duplicate = 0.05;
+    lossy.params.faults.reorder = 0.3;
+    lossy.rounds = 3;
+    lossy.seeds = axes.seeds;
+    matrix.push_back(lossy);
   }
 
   // Multi-epoch point: three epochs with PoW identity churn across a

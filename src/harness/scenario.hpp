@@ -20,21 +20,38 @@
 
 namespace cyc::harness {
 
-/// Mid-run corruption / churn (§III-C mildly-adaptive adversary). The
-/// event is applied via Engine::corrupt at the *start* of `round`, so the
-/// behaviour takes effect one round later, exactly as the threat model
-/// allows.
+/// Mid-run adversarial schedule entries. Corruption events are applied
+/// via Engine::corrupt at the *start* of `round`, so the behaviour takes
+/// effect one round later, exactly as the §III-C mildly-adaptive threat
+/// model allows. Fault-fabric events (partition / blackout / crash-restart
+/// lifecycle) are applied at the same point and take effect immediately —
+/// they model the network, not the adversary's key corruption budget.
 struct ScenarioEvent {
   enum class Target : std::uint8_t {
     kNode,      ///< explicit node id
     kLeaderOf,  ///< whoever leads committee `committee` when `round` starts
     kRefereeAt, ///< referee seat `committee` (mod |C_R|) when `round` starts
+    kCommittee, ///< every member of committee `committee` (partitions)
   };
+  enum class Kind : std::uint8_t {
+    kCorrupt,   ///< Engine::corrupt(victim, behavior) — the legacy event
+    kCrash,     ///< Engine::corrupt(victim, kCrash)
+    kRestart,   ///< Engine::restart(victim); no-op on a live node
+    kPartition, ///< cut victims from the mainland for `duration` rounds
+    kHeal,      ///< close every open partition at `round`
+    kBlackout,  ///< silence each victim for `duration` rounds
+  };
+  // New fields (kind, duration) come last so legacy positional
+  // initializers `{round, target, node, committee, behavior}` keep
+  // meaning exactly what they did before the fault fabric landed.
   std::uint64_t round = 1;
   Target target = Target::kNode;
   net::NodeId node = 0;
   std::uint32_t committee = 0;
   protocol::Behavior behavior = protocol::Behavior::kCrash;
+  Kind kind = Kind::kCorrupt;
+  /// Rounds a partition / blackout stays active (heals at round+duration).
+  std::uint64_t duration = 1;
 };
 
 struct ScenarioSpec {
@@ -110,8 +127,9 @@ std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes);
 /// The bounded default matrix the scenario_runner CLI and the tier-1
 /// suite execute: 3 adversary mixes x 2 delay regimes x 2 cross-shard
 /// fractions x 2 capacity skews, plus mid-run churn, committee-shape
-/// (m/c), high-invalid-fraction and multi-epoch (3 epochs, PoW identity
-/// churn) scenarios — 3 rounds and 3 seeds each.
+/// (m/c), high-invalid-fraction, fault-fabric (partition/heal,
+/// crash-restart, lossy wide-area links) and multi-epoch (3 epochs,
+/// PoW identity churn) scenarios — 3 seeds each.
 std::vector<ScenarioSpec> default_matrix();
 
 /// Stable token for a Behavior, and the reverse lookup used by the JSON

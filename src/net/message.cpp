@@ -56,6 +56,8 @@ std::string_view tag_name(Tag tag) {
     case Tag::kPreCommReply: return "PRECOMM_R";
     case Tag::kBlockPermit: return "BLOCK_PERMIT";
     case Tag::kSubBlock: return "SUB_BLOCK";
+    case Tag::kCatchUpRequest: return "CATCHUP_REQ";
+    case Tag::kCatchUpReply: return "CATCHUP_REPLY";
   }
   return "UNKNOWN";
 }

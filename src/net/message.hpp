@@ -59,6 +59,9 @@ enum class Tag : std::uint16_t {
   kPreCommReply,  // VIII-A: l_j's preference
   kBlockPermit,   // VIII-B: referee permission for a leader sub-block
   kSubBlock,      // VIII-B: leader-broadcast sub-block
+  // Crash-recovery catch-up (restarted node replays honest state)
+  kCatchUpRequest,  // restarted node asks referees for the shard state
+  kCatchUpReply,    // referee's signed state snapshot digest + payload
 };
 
 std::string_view tag_name(Tag tag);

@@ -16,12 +16,16 @@ void SimNet::set_link_classifier(LinkClassifier classifier) {
   classifier_ = std::move(classifier);
 }
 
+void SimNet::install_faults(FaultPlan plan, rng::Stream rng) {
+  injector_.emplace(std::move(plan), rng);
+}
+
 void SimNet::set_handler(NodeId node, Handler handler) {
   handlers_.at(node) = std::move(handler);
 }
 
-Time SimNet::link_delay(NodeId from, NodeId to) {
-  switch (classifier_(from, to)) {
+Time SimNet::class_delay(LinkClass cls) {
+  switch (cls) {
     case LinkClass::kIntraCommittee:
       // Uniform in (0, Delta]: synchronous bound.
       return delays_.delta * (0.5 + 0.5 * rng_.uniform());
@@ -46,19 +50,41 @@ void SimNet::send_shared(NodeId from, NodeId to, Tag tag, PayloadPtr payload) {
     throw std::out_of_range("SimNet::send: unknown receiver");
   }
   Message msg{from, to, tag, std::move(payload)};
-  const Time delay = link_delay(from, to);
+  const LinkClass cls = classifier_(from, to);
   stats_.note_send(from, phase_, msg.wire_size());
-  if (delay < 0) {
+  if (cls == LinkClass::kUnconnected) {
+    // No channel at all: the injector is never consulted (nothing to
+    // fault), so its stream stays untouched.
     ++dropped_;
     return;
   }
+  FaultInjector::Verdict verdict;
+  if (injector_) {
+    verdict = injector_->on_send(from, to, cls, stats_.faults());
+    if (!verdict.deliver) {
+      ++dropped_;
+      return;
+    }
+  }
+  const Time delay = class_delay(cls) * verdict.delay_scale;
   Event ev;
   ev.when = now_ + delay;
   ev.seq = seq_++;
   ev.is_timer = false;
-  ev.msg = std::move(msg);
+  ev.msg = msg;
   ev.send_phase = phase_;
   queue_.push(std::move(ev));
+  if (verdict.duplicate) {
+    // The duplicate aliases the same payload buffer and takes its own
+    // delay draw, so the two copies can arrive in either order.
+    Event dup;
+    dup.when = now_ + class_delay(cls) * verdict.delay_scale;
+    dup.seq = seq_++;
+    dup.is_timer = false;
+    dup.msg = std::move(msg);
+    dup.send_phase = phase_;
+    queue_.push(std::move(dup));
+  }
 }
 
 void SimNet::multicast(NodeId from, const std::vector<NodeId>& to, Tag tag,

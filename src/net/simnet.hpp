@@ -15,9 +15,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/message.hpp"
 #include "net/stats.hpp"
 #include "support/rng.hpp"
@@ -51,6 +53,27 @@ class SimNet {
 
   /// Install the channel classifier (defaults to everything kKeyMesh).
   void set_link_classifier(LinkClassifier classifier);
+
+  /// Install a fault injector evaluated on every send. The injector
+  /// composes with the classifier: the classifier decides which channel
+  /// exists, the injector decides what the adversary does to it. `rng`
+  /// must be a stream independent of the delay stream (the protocol
+  /// engine forks "faults") so fault-free plans leave every delay draw
+  /// byte-identical to an uninstrumented run.
+  void install_faults(FaultPlan plan, rng::Stream rng);
+
+  /// The installed injector, or nullptr. Mutable access lets the
+  /// harness add partitions / blackouts and heal mid-run.
+  FaultInjector* faults() { return injector_ ? &*injector_ : nullptr; }
+  const FaultInjector* faults() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
+
+  /// Advance the injector's round clock (no-op without an injector);
+  /// partitions and blackouts activate / expire on round boundaries.
+  void begin_round(std::uint64_t round) {
+    if (injector_) injector_->begin_round(round);
+  }
 
   /// Install the delivery handler for a node.
   void set_handler(NodeId node, Handler handler);
@@ -112,11 +135,12 @@ class SimNet {
     }
   };
 
-  Time link_delay(NodeId from, NodeId to);
+  Time class_delay(LinkClass cls);
 
   DelayModel delays_;
   rng::Stream rng_;
   LinkClassifier classifier_;
+  std::optional<FaultInjector> injector_;
   std::vector<Handler> handlers_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   TrafficStats stats_;

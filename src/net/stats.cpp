@@ -67,6 +67,7 @@ void TrafficStats::reset() {
   for (auto& node : per_node_) {
     for (auto& c : node) c = Counter{};
   }
+  faults_ = FaultStats{};
 }
 
 }  // namespace cyc::net

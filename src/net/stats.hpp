@@ -47,6 +47,25 @@ struct Counter {
   }
 };
 
+/// Injected-fault accounting (net/faults.hpp). Every fault the injector
+/// applies is counted here, alongside the traffic counters, so a faulty
+/// run's artifact is as byte-deterministic and auditable as a clean one.
+struct FaultStats {
+  std::uint64_t partition_dropped = 0;  ///< cut by an active partition
+  std::uint64_t blackout_dropped = 0;   ///< endpoint inside a blackout
+  std::uint64_t lost = 0;               ///< probabilistic link loss
+  std::uint64_t duplicated = 0;         ///< delivered twice
+  std::uint64_t reordered = 0;          ///< extra delay injected
+
+  std::uint64_t dropped() const {
+    return partition_dropped + blackout_dropped + lost;
+  }
+  std::uint64_t injected() const {
+    return dropped() + duplicated + reordered;
+  }
+  bool operator==(const FaultStats&) const = default;
+};
+
 class TrafficStats {
  public:
   void resize(std::size_t nodes);
@@ -59,11 +78,17 @@ class TrafficStats {
   Counter grand_total() const;
   std::size_t node_count() const { return per_node_.size(); }
 
+  /// Injected-fault counters for the current accounting window (reset
+  /// alongside the traffic counters).
+  FaultStats& faults() { return faults_; }
+  const FaultStats& faults() const { return faults_; }
+
   void reset();
 
  private:
   // per_node_[node][phase]
   std::vector<std::vector<Counter>> per_node_;
+  FaultStats faults_;
 };
 
 }  // namespace cyc::net

@@ -26,6 +26,25 @@ Engine::Engine(Params params, AdversaryConfig adversary, EngineOptions options)
 
   net_ = std::make_unique<net::SimNet>(nodes_.size(), params_.delays,
                                        rng_.fork("net"));
+  // Always install the injector: a structurally inert plan consumes no
+  // randomness and leaves delivery byte-identical, and having it in place
+  // lets the harness add partitions / blackouts mid-run. The probabilistic
+  // profile degrades only the wide-area classes — intra-committee links
+  // keep the synchronous-Delta guarantee of §III-B.
+  {
+    net::FaultPlan plan;
+    auto& key_mesh =
+        plan.link[static_cast<std::size_t>(net::LinkClass::kKeyMesh)];
+    auto& partial =
+        plan.link[static_cast<std::size_t>(net::LinkClass::kPartialSync)];
+    for (auto* faults : {&key_mesh, &partial}) {
+      faults->drop = params_.faults.drop;
+      faults->duplicate = params_.faults.duplicate;
+      faults->reorder = params_.faults.reorder;
+      faults->reorder_scale = params_.faults.reorder_scale;
+    }
+    net_->install_faults(std::move(plan), rng_.fork("faults"));
+  }
   for (auto& n : nodes_) {
     const net::NodeId id = n.id;
     net_->set_handler(id, [this, id](const net::Message& msg, net::Time now) {
@@ -183,12 +202,95 @@ net::NodeId Engine::designated_referee(std::uint64_t sn) const {
   // view change; this is the deterministic stand-in (every node
   // evaluates the same rotation), so one crashed referee cannot stall
   // conviction, re-selection or block release for a whole round.
+  // A seat the fault schedule has silenced (blackout) or cut off from the
+  // referee majority (partition) is skipped exactly like a crashed one:
+  // every node evaluates the same plan, so the rotation stays agreed.
   const std::size_t size = assign_.referees.size();
   for (std::size_t step = 0; step < size; ++step) {
     const net::NodeId id = assign_.referees[(sn + step) % size];
-    if (nodes_[id].is_active(round_)) return id;
+    if (nodes_[id].is_active(round_) && referee_reachable(id)) return id;
   }
   return assign_.referees[sn % size];  // all silent: threat-model breach
+}
+
+bool Engine::referee_reachable(net::NodeId id) const {
+  const net::FaultInjector* injector = net_->faults();
+  if (injector == nullptr) return true;
+  if (injector->blacked_out(id)) return false;
+  if (!injector->partition_active()) return true;
+  // Majority island of the referee committee: the mask shared by the most
+  // non-blacked-out seats (ties break toward the smaller mask, which every
+  // node computes identically).
+  std::map<std::uint64_t, std::size_t> mask_counts;
+  for (net::NodeId seat : assign_.referees) {
+    if (!injector->blacked_out(seat)) {
+      mask_counts[injector->island_mask(seat)] += 1;
+    }
+  }
+  if (mask_counts.empty()) return false;
+  std::uint64_t majority_mask = 0;
+  std::size_t best = 0;
+  for (const auto& [mask, count] : mask_counts) {
+    if (count > best) {
+      best = count;
+      majority_mask = mask;
+    }
+  }
+  return injector->island_mask(id) == majority_mask;
+}
+
+void Engine::compute_severed() {
+  severed_.assign(params_.m, false);
+  const net::FaultInjector* injector = net_->faults();
+  if (injector == nullptr ||
+      (!injector->partition_active() && !has_active_blackout())) {
+    return;
+  }
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    const CommitteeInfo& info = assign_.committees[k];
+    const std::vector<net::NodeId> members = info.all_members();
+    // Group every relevant node by island; the committee keeps quorum iff
+    // some single island simultaneously holds a committee majority, a
+    // referee majority, and a driver (the leader or a partial member) —
+    // otherwise no certified result can both form and reach C_R.
+    std::map<std::uint64_t, std::size_t> committee_count;
+    std::map<std::uint64_t, std::size_t> referee_count;
+    std::map<std::uint64_t, bool> has_driver;
+    for (net::NodeId id : members) {
+      if (injector->blacked_out(id)) continue;
+      const std::uint64_t mask = injector->island_mask(id);
+      committee_count[mask] += 1;
+      if (id == info.leader ||
+          std::find(info.partial.begin(), info.partial.end(), id) !=
+              info.partial.end()) {
+        has_driver[mask] = true;
+      }
+    }
+    for (net::NodeId id : assign_.referees) {
+      if (!injector->blacked_out(id)) {
+        referee_count[injector->island_mask(id)] += 1;
+      }
+    }
+    bool has_quorum = false;
+    for (const auto& [mask, count] : committee_count) {
+      if (count * 2 > members.size() &&
+          referee_count[mask] * 2 > assign_.referees.size() &&
+          has_driver[mask]) {
+        has_quorum = true;
+        break;
+      }
+    }
+    severed_[k] = !has_quorum;
+  }
+}
+
+bool Engine::has_active_blackout() const {
+  const net::FaultInjector* injector = net_->faults();
+  if (injector == nullptr) return false;
+  for (const auto& n : nodes_) {
+    if (injector->blacked_out(n.id)) return true;
+  }
+  return false;
 }
 
 crypto::PublicKey Engine::expected_instance_leader(std::uint32_t scope,
@@ -212,6 +314,67 @@ std::size_t Engine::instance_size(std::uint32_t scope) const {
 void Engine::corrupt(net::NodeId id, Behavior behavior) {
   nodes_[id].behavior = behavior;
   nodes_[id].corrupted_at = round_;  // takes effect from round_+1
+}
+
+crypto::Digest catchup_state_digest(
+    const crypto::Digest& tip_hash,
+    const std::vector<ledger::UtxoStore>& shards) {
+  Writer w;
+  w.str("cyc.catchup.state");
+  w.bytes(crypto::digest_to_bytes(tip_hash));
+  for (const auto& shard : shards) {
+    w.bytes(crypto::digest_to_bytes(shard.digest()));
+  }
+  return crypto::sha256(w.out());
+}
+
+void Engine::restart(net::NodeId id) {
+  NodeState& n = nodes_[id];
+  // Only a crashed node can restart; a shrinker-orphaned restart of a
+  // live node is a deliberate no-op.
+  if (n.behavior != Behavior::kCrash) return;
+  n.behavior = Behavior::kHonest;
+  n.corrupted_at = ~0ull;
+  n.catching_up = true;
+  n.catchup_attempts = 0;
+  n.catchup_adopted = false;
+  n.catchup_tally.clear();
+}
+
+void Engine::partition(std::vector<net::NodeId> island,
+                       std::uint64_t from_round, std::uint64_t heal_round) {
+  net::PartitionSpec spec;
+  spec.from_round = from_round;
+  spec.heal_round = heal_round;
+  spec.island = std::move(island);
+  net_->faults()->add_partition(std::move(spec));
+}
+
+void Engine::blackout(net::NodeId id, std::uint64_t from_round,
+                      std::uint64_t until_round) {
+  net_->faults()->add_blackout({id, from_round, until_round});
+}
+
+std::uint64_t Engine::heal(std::uint64_t round) {
+  return net_->faults()->heal_all(round);
+}
+
+bool Engine::impaired(net::NodeId id, std::uint64_t round) const {
+  const net::FaultInjector* inj = net_->faults();
+  if (inj == nullptr) return false;
+  const net::FaultPlan& plan = inj->plan();
+  for (const auto& b : plan.blackouts) {
+    if (b.node == id && round >= b.from_round && round < b.until_round) {
+      return true;
+    }
+  }
+  for (const auto& p : plan.partitions) {
+    if (round < p.from_round || round >= p.heal_round) continue;
+    if (std::find(p.island.begin(), p.island.end(), id) != p.island.end()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<net::NodeId> Engine::members() const {
@@ -265,6 +428,32 @@ void Engine::reconfigure(const Reconfiguration& reconfig) {
 }
 
 void Engine::start_round_state() {
+  // Crash-recovery lifecycle: a restarted node that adopted a majority
+  // state digest last round rejoins now (its UTXO view is rebuilt by the
+  // per-round copy below, so the adopted digest is what it replays from);
+  // one that exhausted its retry budget re-crashes.
+  catchup_log_.clear();
+  for (auto& n : nodes_) {
+    if (!n.catching_up) continue;
+    if (n.catchup_adopted) {
+      n.catching_up = false;
+      n.catchup_adopted = false;
+      n.catchup_tally.clear();
+    } else if (n.catchup_attempts >= options_.max_catchup_rounds) {
+      n.catching_up = false;
+      n.behavior = Behavior::kCrash;
+      n.corrupted_at = 0;
+      n.catchup_tally.clear();
+      CatchUpRecord record;
+      record.node = n.id;
+      record.round = round_;
+      record.attempt = n.catchup_attempts;
+      record.success = false;
+      catchup_log_.push_back(record);
+    } else {
+      n.catchup_tally.clear();  // fresh tally every attempt
+    }
+  }
   for (auto& n : nodes_) {
     n.role = Role::kCommon;
     n.committee = -1;
@@ -351,6 +540,12 @@ void Engine::start_round_state() {
   convicted_leaders_.clear();
   registered_.clear();
   net_->stats().reset();
+
+  // Advance the fault clock before computing quorum-reachability: the
+  // schedule activates / expires on round boundaries, and the severed
+  // verdicts below must reflect *this* round's connectivity.
+  net_->begin_round(round_);
+  compute_severed();
 }
 
 RoundReport Engine::run_round() {
@@ -419,10 +614,27 @@ double Engine::storage_proxy(const NodeState& n) const {
   return bytes;
 }
 
+void Engine::adopt_quorum_scores() {
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    if (!committees_[k].score_report ||
+        !referee_quorum(committees_[k].score_acks)) {
+      continue;
+    }
+    const auto scores =
+        wire::ScoreListMsg::deserialize(*committees_[k].score_report);
+    for (std::size_t i = 0; i < scores.nodes.size(); ++i) {
+      pending_scores_[scores.nodes[i]] = scores.scores[i];
+    }
+  }
+}
+
 void Engine::finalize_round(RoundReport& report) {
+  adopt_quorum_scores();
   report.round_latency = net_->now() - round_start_;
   report.recoveries = recovery_log_.size();
   report.recovery_events = recovery_log_;
+  report.catchup_events = catchup_log_;
+  report.faults = net_->stats().faults();
 
   // --- Collect committed transactions from the referee's view. ---
   std::vector<ledger::Transaction> committed;
@@ -466,11 +678,16 @@ void Engine::finalize_round(RoundReport& report) {
     auto& stats = report.committees[k];
     stats.committee = k;
     stats.recoveries = committees_[k].recoveries;
+    stats.severed = severed_.size() > k && severed_[k];
     stats.txs_listed =
         committees_[k].intra_list.size() + committees_[k].cross_list.size();
     report.txs_offered += stats.txs_listed;
 
-    if (committees_[k].intra_result) {
+    // A stored result counts only once a majority of referees acked the
+    // same bytes: a result that reached just a minority island of a
+    // partitioned C_R never makes it into the block.
+    if (committees_[k].intra_result &&
+        referee_quorum(committees_[k].intra_acks)) {
       stats.produced_output = true;
       const auto decision =
           wire::IntraDecision::deserialize(*committees_[k].intra_result);
@@ -479,6 +696,11 @@ void Engine::finalize_round(RoundReport& report) {
       }
     }
     for (const auto& [origin, payload] : committees_[k].cross_results) {
+      auto acks = committees_[k].cross_acks.find(origin);
+      if (acks == committees_[k].cross_acks.end() ||
+          !referee_quorum(acks->second)) {
+        continue;
+      }
       auto& origin_stats = report.committees[origin];
       const auto result = wire::CrossResultMsg::deserialize(payload);
       for (const auto& tx : result.request.txs) {
@@ -580,7 +802,8 @@ void Engine::finalize_round(RoundReport& report) {
   for (std::uint32_t k = 0; k < params_.m; ++k) {
     const net::NodeId leader = committees_[k].current_leader;
     if (!convicted_leaders_.contains(leader) &&
-        committees_[k].intra_result) {
+        committees_[k].intra_result &&
+        referee_quorum(committees_[k].intra_acks)) {
       nodes_[leader].reputation += options_.leader_bonus;
     }
   }

@@ -63,7 +63,17 @@ struct EngineOptions {
   /// broadcasts its own sub-block, removing the O(mn) broadcast burden
   /// from C_R.
   bool extension_parallel_blocks = false;
+  /// Crash-recovery: how many consecutive rounds a restarted node keeps
+  /// retrying the referee catch-up before it gives up and re-crashes.
+  std::uint32_t max_catchup_rounds = 4;
 };
+
+/// State digest a restarted node must reproduce before rejoining: the
+/// chain tip hash bound to every shard's UTXO digest. Referees serve it
+/// during catch-up; the restarted node adopts the majority answer.
+crypto::Digest catchup_state_digest(
+    const crypto::Digest& tip_hash,
+    const std::vector<ledger::UtxoStore>& shards);
 
 /// Mid-run reconfiguration request (epoch boundary, §IV-F / src/epoch/).
 /// The engine re-draws every role over `members` with the supplied epoch
@@ -155,6 +165,11 @@ class Engine {
   bool active(net::NodeId id, std::uint64_t round) const {
     return nodes_[id].is_active(round);
   }
+  /// Whether the fault schedule impaired `id`'s connectivity during
+  /// `round` (blackout window, or membership in a partition island).
+  /// Evicting an unreachable-but-honest leader is correct protocol
+  /// behaviour, so the recovery invariants consult this.
+  bool impaired(net::NodeId id, std::uint64_t round) const;
   /// Fault-injection hook for the scenario harness: mutable access to the
   /// authoritative per-shard UTXO views, so tests can corrupt a shard
   /// state and assert the invariant checker notices. Not used by the
@@ -178,6 +193,25 @@ class Engine {
   /// Corrupt a node at the start of the current round; the behaviour
   /// takes effect one round later (mildly-adaptive adversary, §III-C).
   void corrupt(net::NodeId id, Behavior behavior);
+
+  /// Restart a crashed node: it comes back honest but inactive, spends
+  /// the next round(s) catching up from the referees, and rejoins once a
+  /// majority of them corroborate the same state digest. No-op unless
+  /// the node is currently crashed.
+  void restart(net::NodeId id);
+  /// Cut `island` from the rest of the network for rounds
+  /// [from_round, heal_round).
+  void partition(std::vector<net::NodeId> island, std::uint64_t from_round,
+                 std::uint64_t heal_round);
+  /// Silence one node entirely for rounds [from_round, until_round).
+  void blackout(net::NodeId id, std::uint64_t from_round,
+                std::uint64_t until_round);
+  /// Heal every partition still open at `round`; returns how many closed.
+  std::uint64_t heal(std::uint64_t round);
+  /// Catch-up attempts resolved during the last completed round.
+  const std::vector<CatchUpRecord>& catchup_log() const {
+    return catchup_log_;
+  }
 
   /// Epoch-boundary entry point: install a new membership set and re-draw
   /// every role from the epoch randomness, keeping all ledger state.
@@ -252,8 +286,18 @@ class Engine {
     bool accused_this_round = false;
     bool sent_prosecution = false;
 
+    // crash-recovery catch-up (restart())
+    bool catching_up = false;      ///< restarted; not yet rejoined
+    std::uint32_t catchup_attempts = 0;
+    bool catchup_adopted = false;  ///< majority digest adopted this round
+    crypto::Digest adopted_digest{};
+    /// Referee replies tallied by digest bytes; a digest is adopted once
+    /// a majority of distinct referees vouch for it.
+    std::map<std::string, std::set<net::NodeId>> catchup_tally;
+
     bool is_active(std::uint64_t round) const {
-      return !(behavior == Behavior::kCrash && corrupted_at < round);
+      return !catching_up &&
+             !(behavior == Behavior::kCrash && corrupted_at < round);
     }
     bool misbehaves(std::uint64_t round) const {
       return behavior != Behavior::kHonest && corrupted_at < round;
@@ -273,10 +317,18 @@ class Engine {
     Bytes pending_score_payload;
     std::map<std::uint32_t, Bytes> pending_cross_out;  // dest -> request
     net::NodeId pending_new_leader = net::kNoNode;
-    // Referee-side: accepted results.
+    // Referee-side: accepted results. Results multicast to the whole
+    // referee committee; each referee verifies independently and acks
+    // when its verified payload matches the stored bytes. A result is
+    // only *used* (block assembly, commit accounting, score application)
+    // once a majority of referees ack — so a result that reached just a
+    // minority island of a partitioned C_R can never straddle the cut.
     std::optional<Bytes> intra_result;     // serialized TXdecSET+VList
     std::map<std::uint32_t, Bytes> cross_results;  // origin -> accepted ids
     std::optional<Bytes> score_report;
+    std::set<net::NodeId> intra_acks;
+    std::map<std::uint32_t, std::set<net::NodeId>> cross_acks;
+    std::set<net::NodeId> score_acks;
   };
 
   // ---- setup ----
@@ -317,6 +369,8 @@ class Engine {
   void on_new_leader(NodeState& self, const net::Message& msg, net::Time now);
   void on_intra_result(NodeState& self, const net::Message& msg);
   void on_score_report(NodeState& self, const net::Message& msg);
+  void on_catchup_request(NodeState& self, const net::Message& msg);
+  void on_catchup_reply(NodeState& self, const net::Message& msg);
 
   // ---- helpers ----
   NodeState& node(net::NodeId id) { return nodes_[id]; }
@@ -327,6 +381,18 @@ class Engine {
   std::vector<crypto::PublicKey> committee_pks(std::uint32_t k) const;
   net::NodeId node_of_pk(const crypto::PublicKey& pk) const;
   net::NodeId designated_referee(std::uint64_t sn) const;
+  /// Whether a referee seat can talk to the majority of its committee
+  /// this round (not blacked out, on the referee-majority island).
+  bool referee_reachable(net::NodeId id) const;
+  /// Majority-of-referees ack gate for stored results.
+  bool referee_quorum(const std::set<net::NodeId>& acks) const {
+    return acks.size() * 2 > assign_.referees.size();
+  }
+  /// Recompute, for every committee, whether an active partition /
+  /// blackout schedule severs it from quorum this round.
+  void compute_severed();
+  /// Any node currently inside a blackout window?
+  bool has_active_blackout() const;
   crypto::PublicKey expected_instance_leader(std::uint32_t scope,
                                              std::uint64_t sn) const;
   std::vector<net::NodeId> instance_peers(std::uint32_t scope) const;
@@ -377,6 +443,9 @@ class Engine {
                               net::Time now);
   void leader_send_scores(std::uint32_t k, net::Time now);
 
+  /// Apply score reports that have gathered a referee-majority ack into
+  /// pending_scores_ (idempotent; run before selection and finalize).
+  void adopt_quorum_scores();
   /// End-of-round: block assembly, ledger application, reputation.
   void finalize_round(RoundReport& report);
   /// §IV-F selection: beacon + next-round roles; runs during the
@@ -429,6 +498,11 @@ class Engine {
   std::set<net::NodeId> registered_;
   // Serialized block awaiting / holding certification this round.
   Bytes block_payload_;
+  // Catch-up attempts resolved in the current round (cleared per round).
+  std::vector<CatchUpRecord> catchup_log_;
+  // Per-committee: severed from quorum by an active partition/blackout
+  // this round (recomputed in start_round_state, reported per round).
+  std::vector<bool> severed_;
 };
 
 }  // namespace cyc::protocol

@@ -70,6 +70,18 @@ void Engine::phase_config(net::Time at) {
       }
     }
   }
+  // Restarted nodes spend the configuration phase asking the referees for
+  // the current state digest instead of participating.
+  for (auto& n : nodes_) {
+    if (!n.catching_up) continue;
+    n.catchup_attempts += 1;
+    Writer w;
+    w.u32(n.id);
+    const auto payload = net::make_payload(w.take());
+    for (net::NodeId rm : assign_.referees) {
+      net_->send_shared(n.id, rm, net::Tag::kCatchUpRequest, payload);
+    }
+  }
   (void)at;
 }
 
@@ -141,6 +153,10 @@ void Engine::phase_reputation(net::Time at) {
 void Engine::phase_selection(net::Time at) {
   net_->set_phase(net::Phase::kSelection);
   current_phase_ = net::Phase::kSelection;
+  // Adopt the quorum-acked score reports before compute_selection reads
+  // the effective reputations (finalize_round re-runs this for reports
+  // whose quorum completed later in the round).
+  adopt_quorum_scores();
   const Bytes challenge =
       concat({bytes_of("cyc.round"), be64(round_),
               crypto::digest_to_bytes(randomness_)});
@@ -171,13 +187,21 @@ void Engine::phase_block(net::Time at) {
   NodeState& referee = nodes_[proposer];
   wire::BlockMsg block;
   block.round = round_;
+  // Only results a majority of referees acked enter the proposal — a
+  // result stranded on a minority island of a partitioned C_R stays out.
   for (std::uint32_t k = 0; k < params_.m; ++k) {
-    if (committees_[k].intra_result) {
+    if (committees_[k].intra_result &&
+        referee_quorum(committees_[k].intra_acks)) {
       const auto decision =
           wire::IntraDecision::deserialize(*committees_[k].intra_result);
       for (const auto& tx : decision.txdec_set) block.txs.push_back(tx);
     }
     for (const auto& [origin, payload] : committees_[k].cross_results) {
+      auto acks = committees_[k].cross_acks.find(origin);
+      if (acks == committees_[k].cross_acks.end() ||
+          !referee_quorum(acks->second)) {
+        continue;
+      }
       const auto result = wire::CrossResultMsg::deserialize(payload);
       for (const auto& tx : result.request.txs) block.txs.push_back(tx);
     }
@@ -213,6 +237,17 @@ void Engine::phase_block(net::Time at) {
 
 void Engine::handle(net::NodeId id, const net::Message& msg, net::Time now) {
   NodeState& self = nodes_[id];
+  // Catch-up traffic bypasses the activity gate: a catching-up node is
+  // inactive for the protocol proper but must still receive the referee
+  // replies that let it rejoin. The handlers re-check roles themselves.
+  if (msg.tag == net::Tag::kCatchUpRequest) {
+    on_catchup_request(self, msg);
+    return;
+  }
+  if (msg.tag == net::Tag::kCatchUpReply) {
+    on_catchup_reply(self, msg);
+    return;
+  }
   if (!self.is_active(round_)) return;  // crashed: pretend offline
   try {
     switch (msg.tag) {

@@ -539,7 +539,7 @@ void Engine::on_cross_result(NodeState& self, const net::Message& msg) {
   const std::uint32_t dest = result.request.dest;
   const std::uint32_t origin = result.request.origin;
   if (dest >= params_.m || origin >= params_.m) return;
-  if (committees_[dest].cross_results.contains(origin)) return;
+  if (committees_[dest].cross_acks[origin].contains(self.id)) return;
 
   // Check both certificates against both semi-commitments.
   auto oc = self.commitments.find(origin);
@@ -569,7 +569,13 @@ void Engine::on_cross_result(NodeState& self, const net::Message& msg) {
   } catch (const std::exception&) {
     return;
   }
-  committees_[dest].cross_results[origin] = msg.payload();
+  auto stored = committees_[dest].cross_results.find(origin);
+  if (stored == committees_[dest].cross_results.end()) {
+    committees_[dest].cross_results[origin] = msg.payload();
+  } else if (stored->second != msg.payload()) {
+    return;  // conflicting certified payload: never ack a mismatch
+  }
+  committees_[dest].cross_acks[origin].insert(self.id);
 }
 
 // ---------------------------------------------------------------------------
@@ -577,11 +583,17 @@ void Engine::on_cross_result(NodeState& self, const net::Message& msg) {
 // ---------------------------------------------------------------------------
 
 void Engine::on_intra_result(NodeState& self, const net::Message& msg) {
+  // Every referee verifies the certificate independently and acks the
+  // stored bytes; the result is only *used* once a majority acked (the
+  // quorum gate in phase_block / finalize_round). A duplicate delivery
+  // cannot double-ack (acks are keyed by referee id), and a partitioned
+  // minority of C_R can never push a result into the block alone.
   if (self.role != Role::kReferee) return;
   const auto result = wire::CertifiedResult::deserialize(msg.payload());
   const auto decision = wire::IntraDecision::deserialize(result.payload);
   if (decision.committee >= params_.m) return;
-  if (committees_[decision.committee].intra_result) return;
+  auto& committee = committees_[decision.committee];
+  if (committee.intra_acks.contains(self.id)) return;
   auto lit = self.lists.find(decision.committee);
   if (lit == self.lists.end()) return;
   try {
@@ -591,7 +603,12 @@ void Engine::on_intra_result(NodeState& self, const net::Message& msg) {
   } catch (const std::exception&) {
     return;
   }
-  committees_[decision.committee].intra_result = result.payload;
+  if (!committee.intra_result) {
+    committee.intra_result = result.payload;
+  } else if (*committee.intra_result != result.payload) {
+    return;  // conflicting certified payload: never ack a mismatch
+  }
+  committee.intra_acks.insert(self.id);
 }
 
 void Engine::on_score_report(NodeState& self, const net::Message& msg) {
@@ -599,7 +616,8 @@ void Engine::on_score_report(NodeState& self, const net::Message& msg) {
   const auto result = wire::CertifiedResult::deserialize(msg.payload());
   const auto scores = wire::ScoreListMsg::deserialize(result.payload);
   if (scores.committee >= params_.m) return;
-  if (committees_[scores.committee].score_report) return;
+  auto& committee = committees_[scores.committee];
+  if (committee.score_acks.contains(self.id)) return;
   auto lit = self.lists.find(scores.committee);
   if (lit == self.lists.end()) return;
   try {
@@ -609,10 +627,76 @@ void Engine::on_score_report(NodeState& self, const net::Message& msg) {
   } catch (const std::exception&) {
     return;
   }
-  committees_[scores.committee].score_report = result.payload;
-  for (std::size_t i = 0; i < scores.nodes.size(); ++i) {
-    pending_scores_[scores.nodes[i]] = scores.scores[i];
+  if (!committee.score_report) {
+    committee.score_report = result.payload;
+  } else if (*committee.score_report != result.payload) {
+    return;
   }
+  committee.score_acks.insert(self.id);
+  // Scores are applied at the start of the selection phase, once the
+  // report has gathered a referee majority — not here.
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery catch-up (restart())
+// ---------------------------------------------------------------------------
+
+void Engine::on_catchup_request(NodeState& self, const net::Message& msg) {
+  // Only active referee seats serve state; anyone else ignores the ask.
+  if (self.role != Role::kReferee || !self.is_active(round_)) return;
+  net::NodeId who = net::kNoNode;
+  try {
+    Reader r(msg.payload());
+    who = r.u32();
+  } catch (const std::exception&) {
+    return;
+  }
+  if (who >= nodes_.size() || who != msg.from) return;
+  crypto::Digest digest = catchup_state_digest(chain_.tip().hash(),
+                                               shard_state_);
+  if (self.misbehaves(round_)) {
+    // A corrupted referee vouches for a forged state; the restarted
+    // node's majority tally must reject it.
+    digest = crypto::sha256_concat(
+        {bytes_of("cyc.catchup.forged"), be64(self.id)});
+  }
+  Writer w;
+  w.bytes(crypto::digest_to_bytes(digest));
+  net_->send(self.id, who, net::Tag::kCatchUpReply, w.take());
+}
+
+void Engine::on_catchup_reply(NodeState& self, const net::Message& msg) {
+  if (!self.catching_up || self.catchup_adopted) return;
+  // Only current referee seats may vouch for state.
+  if (std::find(assign_.referees.begin(), assign_.referees.end(), msg.from) ==
+      assign_.referees.end()) {
+    return;
+  }
+  Bytes digest_bytes;
+  try {
+    Reader r(msg.payload());
+    digest_bytes = r.bytes();
+  } catch (const std::exception&) {
+    return;
+  }
+  if (digest_bytes.size() != self.adopted_digest.size()) return;
+  // Tally by digest, keyed by distinct signer: duplicated deliveries of
+  // one referee's reply can never fake a majority.
+  auto& backers =
+      self.catchup_tally[std::string(digest_bytes.begin(), digest_bytes.end())];
+  backers.insert(msg.from);
+  if (backers.size() * 2 <= assign_.referees.size()) return;
+  self.catchup_adopted = true;
+  std::copy(digest_bytes.begin(), digest_bytes.end(),
+            self.adopted_digest.begin());
+  CatchUpRecord record;
+  record.node = self.id;
+  record.round = round_;
+  record.attempt = self.catchup_attempts;
+  record.confirms = backers.size();
+  record.success = true;
+  record.adopted_digest = self.adopted_digest;
+  catchup_log_.push_back(record);
 }
 
 // ---------------------------------------------------------------------------

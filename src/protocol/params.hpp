@@ -8,6 +8,21 @@
 
 namespace cyc::protocol {
 
+/// Probabilistic message faults on the wide-area link classes (key mesh
+/// and partial-sync cross links). Intra-committee links stay reliable:
+/// the paper's synchronous-Delta bound (§III-B) holds inside a committee,
+/// so only the channels that cross committee boundaries degrade. All
+/// probabilities are per message; draws come from the engine's dedicated
+/// fault stream, so a zeroed profile leaves runs byte-identical.
+struct FaultProfile {
+  double drop = 0.0;       ///< P[message silently lost]
+  double duplicate = 0.0;  ///< P[message delivered twice]
+  double reorder = 0.0;    ///< P[delivery delayed by an extra factor]
+  double reorder_scale = 4.0;
+
+  bool any() const { return drop > 0.0 || duplicate > 0.0 || reorder > 0.0; }
+};
+
 struct Params {
   std::uint32_t m = 4;             ///< number of committees
   std::uint32_t c = 12;            ///< committee size
@@ -15,6 +30,9 @@ struct Params {
   std::uint32_t referee_size = 9;  ///< |C_R|
 
   net::DelayModel delays{};
+
+  /// Message-fault profile for the lossy link classes (see FaultProfile).
+  FaultProfile faults{};
 
   /// Workload knobs.
   std::uint32_t txs_per_committee = 16;  ///< TXList length per round

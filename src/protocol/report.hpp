@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/sha256.hpp"
 #include "net/stats.hpp"
 #include "protocol/adversary.hpp"
 #include "protocol/roles.hpp"
@@ -20,6 +21,19 @@ struct RecoveryEvent {
   std::string witness_kind;
 };
 
+/// One resolved catch-up attempt of a restarted node (crash-recovery).
+/// On success the node adopted `adopted_digest` after `confirms` distinct
+/// referees vouched for it; on failure it exhausted its retry budget and
+/// re-crashed.
+struct CatchUpRecord {
+  net::NodeId node = net::kNoNode;
+  std::uint64_t round = 0;
+  std::uint32_t attempt = 0;
+  std::size_t confirms = 0;
+  bool success = false;
+  crypto::Digest adopted_digest{};
+};
+
 struct CommitteeRoundStats {
   std::uint32_t committee = 0;
   std::size_t txs_listed = 0;       ///< offered in TXList(s)
@@ -27,6 +41,10 @@ struct CommitteeRoundStats {
   std::size_t cross_committed = 0;  ///< committed cross-shard txs (origin here)
   bool produced_output = false;     ///< referee received a certified result
   std::size_t recoveries = 0;
+  /// An active partition / blackout cut this committee off from quorum
+  /// this round (no majority island holds committee majority + referee
+  /// majority + a leader or partial member).
+  bool severed = false;
 };
 
 struct RoundReport {
@@ -40,7 +58,9 @@ struct RoundReport {
   bool block_void = false;             ///< no committee produced output
   std::size_t recoveries = 0;
   std::vector<RecoveryEvent> recovery_events;
+  std::vector<CatchUpRecord> catchup_events;  ///< crash-recovery attempts
   std::vector<CommitteeRoundStats> committees;
+  net::FaultStats faults;              ///< injected network faults
   double round_latency = 0.0;          ///< simulated time consumed
   double total_fees = 0.0;
   net::Counter traffic_total;

@@ -53,14 +53,49 @@ TEST(FuzzGenerator, SpecsRespectThreatModelBounds) {
     }
     EXPECT_GE(spec.seeds.size(), 1u);
     EXPECT_LE(spec.seeds.size(), bounds.max_seeds);
-    EXPECT_LE(spec.events.size(), bounds.max_events);
+
+    // Per-kind event budgets: corruption events spend the §III-C budget,
+    // fault-fabric events ride their own bounds (each crash-restart pair
+    // contributes one kCrash and one kRestart; each partition may bring
+    // an explicit heal).
+    std::size_t corruptions = 0, partitions = 0, heals = 0, crashes = 0,
+                restarts = 0, blackouts = 0;
+    for (const auto& ev : spec.events) {
+      using Kind = harness::ScenarioEvent::Kind;
+      switch (ev.kind) {
+        case Kind::kCorrupt: corruptions += 1; break;
+        case Kind::kPartition: partitions += 1; break;
+        case Kind::kHeal: heals += 1; break;
+        case Kind::kCrash: crashes += 1; break;
+        case Kind::kRestart: restarts += 1; break;
+        case Kind::kBlackout: blackouts += 1; break;
+      }
+    }
+    EXPECT_LE(corruptions, bounds.max_events);
+    EXPECT_LE(partitions, bounds.max_partitions);
+    EXPECT_LE(heals, partitions);
+    EXPECT_LE(crashes, bounds.max_crash_restarts);
+    EXPECT_EQ(restarts, crashes) << "crash-restart events come in pairs";
+    EXPECT_LE(blackouts, bounds.max_blackouts);
+
+    // The probabilistic loss profile stays inside its ceiling.
+    EXPECT_GE(spec.params.faults.drop, 0.0);
+    EXPECT_LE(spec.params.faults.drop, bounds.max_drop);
 
     // Event schedules stay legal: rounds inside the run, targets inside
-    // the shape, behaviours are concrete corruptions.
+    // the shape, behaviours are concrete corruptions, restarts trail
+    // their crash far enough for the crash to have taken effect.
     for (const auto& ev : spec.events) {
       EXPECT_GE(ev.round, 1u);
       EXPECT_LE(ev.round, spec.rounds * spec.epochs);
       EXPECT_NE(ev.behavior, protocol::Behavior::kHonest);
+      if (ev.kind == harness::ScenarioEvent::Kind::kRestart) {
+        EXPECT_GE(ev.round, 3u);
+      }
+      if (ev.kind == harness::ScenarioEvent::Kind::kPartition ||
+          ev.kind == harness::ScenarioEvent::Kind::kBlackout) {
+        EXPECT_GE(ev.duration, 1u);
+      }
       switch (ev.target) {
         case harness::ScenarioEvent::Target::kNode:
           EXPECT_LT(ev.node, spec.params.total_nodes());
@@ -70,6 +105,9 @@ TEST(FuzzGenerator, SpecsRespectThreatModelBounds) {
           break;
         case harness::ScenarioEvent::Target::kRefereeAt:
           EXPECT_LT(ev.committee, spec.params.referee_size);
+          break;
+        case harness::ScenarioEvent::Target::kCommittee:
+          EXPECT_LT(ev.committee, spec.params.m);
           break;
       }
     }
@@ -90,6 +128,9 @@ TEST(FuzzGenerator, StreamsProduceDiverseSpecs) {
   bool saw_events = false;
   bool saw_epochs = false;
   bool saw_honest = false;
+  bool saw_partition = false;
+  bool saw_restart = false;
+  bool saw_lossy = false;
   for (std::uint64_t seed = 1; seed <= 100; ++seed) {
     rng::Stream rng(seed);
     const ScenarioSpec spec = generate_spec(rng);
@@ -98,12 +139,20 @@ TEST(FuzzGenerator, StreamsProduceDiverseSpecs) {
     saw_events |= !spec.events.empty();
     saw_epochs |= spec.epochs > 1;
     saw_honest |= spec.adversary.corrupt_fraction == 0.0;
+    saw_lossy |= spec.params.faults.any();
+    for (const auto& ev : spec.events) {
+      saw_partition |= ev.kind == harness::ScenarioEvent::Kind::kPartition;
+      saw_restart |= ev.kind == harness::ScenarioEvent::Kind::kRestart;
+    }
   }
   EXPECT_GT(encodings.size(), 90u) << "sampling collapsed";
   EXPECT_TRUE(saw_adversary);
   EXPECT_TRUE(saw_events);
   EXPECT_TRUE(saw_epochs);
   EXPECT_TRUE(saw_honest);
+  EXPECT_TRUE(saw_partition) << "fuzzer must sample the partition axis";
+  EXPECT_TRUE(saw_restart) << "fuzzer must sample crash-restart pairs";
+  EXPECT_TRUE(saw_lossy) << "fuzzer must sample probabilistic loss";
 }
 
 TEST(FuzzGenerator, FailureTailFilterIsLive) {

@@ -444,5 +444,66 @@ TEST(InvariantChecker, FlagsBrokenFlowConservation) {
   EXPECT_TRUE(has_invariant(out, "flow-conservation"));
 }
 
+TEST(InvariantChecker, FlagsPartitionStraddleAndMissedResume) {
+  // Non-vacuity of the fault-fabric invariants: fabricated stats a
+  // buggy engine could emit must be flagged.
+  std::vector<Violation> out;
+  protocol::CommitteeRoundStats straddle;
+  straddle.committee = 0;
+  straddle.severed = true;
+  straddle.produced_output = true;  // certified output while cut off
+  InvariantChecker::check_partition_round(straddle, false, false, 5, out);
+  EXPECT_TRUE(has_invariant(out, "partition-no-straddle"));
+
+  // Healed and eligible but silent -> missed resume; ineligible -> green.
+  protocol::CommitteeRoundStats healed;
+  healed.committee = 1;
+  out.clear();
+  InvariantChecker::check_partition_round(healed, true, true, 6, out);
+  EXPECT_TRUE(has_invariant(out, "partition-liveness-resume"));
+  out.clear();
+  InvariantChecker::check_partition_round(healed, true, false, 6, out);
+  EXPECT_TRUE(out.empty());
+
+  // A severed committee that stays quiet is correct degradation.
+  protocol::CommitteeRoundStats quiet;
+  quiet.committee = 2;
+  quiet.severed = true;
+  out.clear();
+  InvariantChecker::check_partition_round(quiet, false, true, 7, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(InvariantChecker, FlagsForgedCatchUpDigest) {
+  crypto::Digest honest{};
+  honest.fill(0x11);
+  crypto::Digest forged{};
+  forged.fill(0x22);
+
+  protocol::CatchUpRecord rec;
+  rec.node = 7;
+  rec.round = 3;
+  rec.attempt = 1;
+  rec.confirms = 3;
+  rec.success = true;
+  rec.adopted_digest = forged;
+  std::vector<Violation> out;
+  InvariantChecker::check_catchup({rec}, honest, 3, out);
+  EXPECT_TRUE(has_invariant(out, "restart-replay-digest"));
+
+  // Adopting the honest replay digest is green.
+  rec.adopted_digest = honest;
+  out.clear();
+  InvariantChecker::check_catchup({rec}, honest, 3, out);
+  EXPECT_TRUE(out.empty());
+
+  // Failed attempts adopted nothing; their digest field is not audited.
+  rec.success = false;
+  rec.adopted_digest = forged;
+  out.clear();
+  InvariantChecker::check_catchup({rec}, honest, 3, out);
+  EXPECT_TRUE(out.empty());
+}
+
 }  // namespace
 }  // namespace cyc::harness

@@ -254,21 +254,25 @@ TEST(ScenarioMatrix, CrossesShapeInvalidAndEpochAxes) {
 TEST(ScenarioMatrix, DefaultMatrixShape) {
   const auto matrix = default_matrix();
   // 3 adversary mixes x 2 delay regimes x 2 cross fractions x 2 capacity
-  // skews + 2 churn scenarios + committee-shape + high-invalid +
+  // skews + 2 churn scenarios + committee-shape + high-invalid + 3 fault-
+  // fabric scenarios (partition-heal, crash-restart, lossy links) +
   // multi-epoch; 3 seeds each.
-  EXPECT_EQ(matrix.size(), 29u);
+  EXPECT_EQ(matrix.size(), 32u);
   std::size_t points = 0;
   for (const auto& spec : matrix) {
     points += spec.seeds.size();
     EXPECT_EQ(spec.seeds.size(), 3u) << spec.name;
   }
-  EXPECT_EQ(points, 87u);
+  EXPECT_EQ(points, 96u);
   // The crossed axes run 3 rounds (ROADMAP growth item).
   EXPECT_EQ(matrix.front().rounds, 3u);
   bool has_events = false;
   bool has_epochs = false;
   bool has_shape = false;
   bool has_high_invalid = false;
+  bool has_partition = false;
+  bool has_restart = false;
+  bool has_lossy = false;
   for (const auto& spec : matrix) {
     has_events |= !spec.events.empty();
     has_epochs |= spec.epochs >= 3 && spec.churn_rate > 0.0;
@@ -276,6 +280,11 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
                  spec.params.c != matrix.front().params.c;
     has_high_invalid |=
         spec.params.invalid_fraction > matrix.front().params.invalid_fraction;
+    has_lossy |= spec.params.faults.any();
+    for (const auto& ev : spec.events) {
+      has_partition |= ev.kind == ScenarioEvent::Kind::kPartition;
+      has_restart |= ev.kind == ScenarioEvent::Kind::kRestart;
+    }
   }
   EXPECT_TRUE(has_events) << "default matrix must exercise mid-run churn";
   EXPECT_TRUE(has_epochs)
@@ -283,6 +292,11 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
   EXPECT_TRUE(has_shape) << "default matrix must sweep the committee shape";
   EXPECT_TRUE(has_high_invalid)
       << "default matrix must include a high invalid-fraction point";
+  EXPECT_TRUE(has_partition)
+      << "default matrix must include a partition-heal point";
+  EXPECT_TRUE(has_restart)
+      << "default matrix must include a crash-restart point";
+  EXPECT_TRUE(has_lossy) << "default matrix must include a lossy-link point";
 }
 
 TEST(BehaviorTokens, RoundTripAllBehaviors) {

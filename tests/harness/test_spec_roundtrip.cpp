@@ -94,6 +94,79 @@ TEST(SpecRoundTrip, EveryBuilderFieldSurvives) {
   EXPECT_EQ(parsed.seeds, spec.seeds);
 }
 
+TEST(SpecRoundTrip, FaultFabricFieldsSurvive) {
+  // The fault-fabric extension of the spec language: probabilistic link
+  // faults in Params plus the partition / restart / blackout event kinds
+  // with durations.
+  ScenarioSpec spec;
+  spec.name = "faults/maxed";
+  spec.rounds = 5;
+  spec.params.faults.drop = 0.1;
+  spec.params.faults.duplicate = 0.05;
+  spec.params.faults.reorder = 0.25;
+  spec.params.faults.reorder_scale = 6.0;
+
+  ScenarioEvent cut;
+  cut.round = 2;
+  cut.kind = ScenarioEvent::Kind::kPartition;
+  cut.target = ScenarioEvent::Target::kCommittee;
+  cut.committee = 1;
+  cut.duration = 2;
+  spec.events.push_back(cut);
+  ScenarioEvent heal;
+  heal.round = 3;
+  heal.kind = ScenarioEvent::Kind::kHeal;
+  spec.events.push_back(heal);
+  ScenarioEvent crash;
+  crash.round = 1;
+  crash.kind = ScenarioEvent::Kind::kCrash;
+  crash.target = ScenarioEvent::Target::kNode;
+  crash.node = 9;
+  spec.events.push_back(crash);
+  ScenarioEvent back;
+  back.round = 3;
+  back.kind = ScenarioEvent::Kind::kRestart;
+  back.target = ScenarioEvent::Target::kNode;
+  back.node = 9;
+  spec.events.push_back(back);
+  ScenarioEvent dark;
+  dark.round = 4;
+  dark.kind = ScenarioEvent::Kind::kBlackout;
+  dark.target = ScenarioEvent::Target::kLeaderOf;
+  dark.committee = 0;
+  dark.duration = 3;
+  spec.events.push_back(dark);
+
+  expect_byte_identical_roundtrip(spec);
+
+  const ScenarioSpec parsed = ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_DOUBLE_EQ(parsed.params.faults.drop, 0.1);
+  EXPECT_DOUBLE_EQ(parsed.params.faults.duplicate, 0.05);
+  EXPECT_DOUBLE_EQ(parsed.params.faults.reorder, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.params.faults.reorder_scale, 6.0);
+  ASSERT_EQ(parsed.events.size(), 5u);
+  EXPECT_EQ(parsed.events[0].kind, ScenarioEvent::Kind::kPartition);
+  EXPECT_EQ(parsed.events[0].target, ScenarioEvent::Target::kCommittee);
+  EXPECT_EQ(parsed.events[0].duration, 2u);
+  EXPECT_EQ(parsed.events[1].kind, ScenarioEvent::Kind::kHeal);
+  EXPECT_EQ(parsed.events[2].kind, ScenarioEvent::Kind::kCrash);
+  EXPECT_EQ(parsed.events[3].kind, ScenarioEvent::Kind::kRestart);
+  EXPECT_EQ(parsed.events[3].node, 9u);
+  EXPECT_EQ(parsed.events[4].kind, ScenarioEvent::Kind::kBlackout);
+  EXPECT_EQ(parsed.events[4].duration, 3u);
+
+  // Legacy encoding stability: a spec without probabilistic faults must
+  // not emit the fault fields at all (old documents stay byte-stable),
+  // and a corrupt event must not emit "kind" or "duration".
+  ScenarioSpec legacy;
+  legacy.events.push_back({2, ScenarioEvent::Target::kLeaderOf, 0, 1,
+                           protocol::Behavior::kEquivocator});
+  const std::string text = legacy.to_json_text();
+  EXPECT_EQ(text.find("fault_drop"), std::string::npos);
+  EXPECT_EQ(text.find("\"kind\""), std::string::npos);
+  EXPECT_EQ(text.find("\"duration\""), std::string::npos);
+}
+
 TEST(SpecRoundTrip, DefaultAndDefaultMatrixSpecs) {
   expect_byte_identical_roundtrip(ScenarioSpec{});
   for (const ScenarioSpec& spec : default_matrix()) {

@@ -168,6 +168,66 @@ TEST(SimNet, SendToUnknownNodeThrows) {
   EXPECT_THROW(net.send(0, 5, Tag::kConfig, {}), std::out_of_range);
 }
 
+TEST(SimNet, DroppedSendsDeterministicAcrossRuns) {
+  // Non-vacuity: kUnconnected sends are counted, not silently lost, and
+  // the count is identical across repeated runs of the same seed.
+  auto run_once = [] {
+    SimNet net(4, DelayModel{}, rng::Stream(11));
+    net.set_link_classifier([](NodeId from, NodeId to) {
+      return (from + to) % 2 == 0 ? LinkClass::kUnconnected
+                                  : LinkClass::kKeyMesh;
+    });
+    std::uint64_t delivered = 0;
+    for (NodeId i = 0; i < 4; ++i) {
+      net.set_handler(i, [&](const Message&, Time) { ++delivered; });
+    }
+    for (NodeId i = 0; i < 4; ++i) {
+      for (NodeId j = 0; j < 4; ++j) {
+        if (i != j) net.send(i, j, Tag::kConfig, {});
+      }
+    }
+    net.run();
+    return std::make_pair(net.dropped_sends(), delivered);
+  };
+  const auto [dropped_a, delivered_a] = run_once();
+  const auto [dropped_b, delivered_b] = run_once();
+  EXPECT_EQ(dropped_a, dropped_b);
+  EXPECT_EQ(delivered_a, delivered_b);
+  EXPECT_GT(dropped_a, 0u);                 // some links really were cut
+  EXPECT_EQ(dropped_a + delivered_a, 12u);  // nothing silently lost
+}
+
+TEST(SimNet, EqualTimestampsDeliverInSeqOrder) {
+  // With zero jitter every kPartialSync delay is exactly gamma, so all
+  // messages sent at t=0 carry equal delivery timestamps and the queue
+  // must fall back to the seq_ tie-break: delivery order == send order,
+  // byte-identical on every run (sweeps run one single-threaded SimNet
+  // per point, so per-instance determinism is what thread-count
+  // invariance of the artifacts rests on).
+  auto run_once = [] {
+    DelayModel delays;
+    delays.gamma = 5.0;
+    delays.jitter = 0.0;
+    SimNet net(8, delays, rng::Stream(2));
+    net.set_link_classifier(
+        [](NodeId, NodeId) { return LinkClass::kPartialSync; });
+    std::vector<std::pair<NodeId, Time>> log;
+    net.set_handler(7, [&](const Message& msg, Time t) {
+      log.emplace_back(msg.from, t);
+    });
+    for (NodeId i = 0; i < 7; ++i) net.send(i, 7, Tag::kConfig, {});
+    net.run();
+    return log;
+  };
+  const auto log = run_once();
+  ASSERT_EQ(log.size(), 7u);
+  for (NodeId i = 0; i < 7; ++i) {
+    EXPECT_EQ(log[i].first, i);        // seq order == send order
+    EXPECT_EQ(log[i].second, 5.0);     // all timestamps equal
+  }
+  EXPECT_EQ(log, run_once());
+}
+
 TEST(SimNet, PartialSyncDelaysLargerThanGamma) {
   DelayModel delays;
   delays.gamma = 5.0;

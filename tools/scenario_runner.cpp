@@ -5,8 +5,9 @@
 //
 // With no --spec, runs the built-in bounded default matrix (3 adversary
 // mixes x 2 delay regimes x 2 cross-shard fractions x 2 capacity skews
-// plus mid-run churn, committee-shape, high-invalid-fraction and
-// multi-epoch scenarios = 29 scenarios, 3 seeds each = 87 points).
+// plus mid-run churn, committee-shape, high-invalid-fraction,
+// fault-fabric (partition/heal, crash-restart, lossy wide-area links)
+// and multi-epoch scenarios = 32 scenarios, 3 seeds each = 96 points).
 // --spec FILE loads a JSON scenario list (one object, an array, or
 // {"scenarios": [...]}); multi-epoch scenarios set "epochs" /
 // "churn_rate" (see src/epoch/README.md). The JSON artifact goes to
