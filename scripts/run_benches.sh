@@ -5,6 +5,10 @@
 #   bench/out/BENCH_<name>.json   (working copy, gitignored territory)
 #   ./BENCH_<name>.json           (repo root, the tracked perf trajectory)
 #
+# bench_sustained_load additionally runs twice and byte-compares the two
+# artifacts: its JSON carries no wall-clock or allocation fields, so any
+# diff is a determinism regression in the open-loop engine path.
+#
 # Usage: scripts/run_benches.sh [build-dir]
 set -euo pipefail
 
@@ -14,14 +18,25 @@ BUILD_DIR="${1:-build-bench}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   bench_throughput_scalability bench_crossshard bench_table2_complexity \
-  bench_epoch_transition
+  bench_epoch_transition bench_sustained_load
 
 mkdir -p bench/out
-for name in throughput_scalability crossshard table2_complexity epoch_transition; do
+for name in throughput_scalability crossshard table2_complexity epoch_transition sustained_load; do
   echo "=== bench_${name} ==="
   "$BUILD_DIR/bench_${name}" "bench/out/BENCH_${name}.json"
   cp "bench/out/BENCH_${name}.json" "BENCH_${name}.json"
 done
+
+echo "=== bench_sustained_load (double-run byte-compare) ==="
+"$BUILD_DIR/bench_sustained_load" "bench/out/BENCH_sustained_load.rerun.json" \
+  > /dev/null
+if ! cmp "bench/out/BENCH_sustained_load.json" \
+         "bench/out/BENCH_sustained_load.rerun.json"; then
+  echo "error: BENCH_sustained_load.json differs between runs" >&2
+  exit 1
+fi
+rm -f "bench/out/BENCH_sustained_load.rerun.json"
+echo "byte-identical across runs"
 
 echo
 echo "Artifacts:"

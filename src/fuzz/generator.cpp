@@ -334,6 +334,22 @@ ScenarioSpec generate_spec(rng::Stream& rng, const FuzzBounds& bounds) {
       spec.params.faults.reorder = pick(rng, kReorder);
     }
 
+    // Open-loop sustained-traffic axes, short-decimal grids like every
+    // other float field. Double-gated so the default (zero) fraction
+    // consumes nothing from the stream: existing corpora and their
+    // shrunk repro specs stay byte-identical.
+    if (bounds.openloop_fraction > 0.0 &&
+        rng.chance(bounds.openloop_fraction)) {
+      constexpr std::array<double, 4> kRate = {0.05, 0.1, 0.15, 0.25};
+      constexpr std::array<double, 4> kZipf = {0.0, 0.8, 1.1, 1.5};
+      constexpr std::array<std::uint32_t, 3> kPool = {8, 24, 64};
+      spec.params.arrival_rate =
+          std::min(pick(rng, kRate), bounds.max_arrival_rate);
+      spec.params.zipf_s = std::min(pick(rng, kZipf), bounds.max_zipf_s);
+      spec.params.mempool_cap =
+          std::min(pick(rng, kPool), bounds.max_mempool_cap);
+    }
+
     const CorruptBudget budget = corrupt_budget(spec);
     if (spec_failure_tail(spec.params.total_nodes(), budget.misvoters,
                           budget.corrupt, spec.params.m, spec.params.c,

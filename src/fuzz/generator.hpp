@@ -52,6 +52,14 @@ struct FuzzBounds {
   std::size_t max_crash_restarts = 1;
   std::size_t max_blackouts = 1;
   double max_drop = 0.1;             ///< per-message loss ceiling
+  /// Open-loop sustained-traffic axes (Params::arrival_rate / zipf_s /
+  /// mempool_cap, src/ledger/README.md). Off by default — a zero
+  /// fraction draws nothing from the stream, so existing campaign
+  /// corpora stay byte-identical; campaigns opt in by raising it.
+  double openloop_fraction = 0.0;  ///< P[spec runs the open-loop source]
+  double max_arrival_rate = 0.3;   ///< arrivals per unit simulated time
+  double max_zipf_s = 1.5;         ///< account-popularity skew ceiling
+  std::uint32_t max_mempool_cap = 64;
 };
 
 /// Sample one spec. Deterministic in (rng state, bounds); the caller

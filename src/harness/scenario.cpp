@@ -59,6 +59,9 @@ protocol::Params params_from_json(const JsonValue& v,
       v.number_or("cross_shard_fraction", p.cross_shard_fraction);
   p.invalid_fraction = v.number_or("invalid_fraction", p.invalid_fraction);
   p.users = u32_field(v, "users", p.users);
+  p.arrival_rate = v.number_or("arrival_rate", p.arrival_rate);
+  p.zipf_s = v.number_or("zipf_s", p.zipf_s);
+  p.mempool_cap = u32_field(v, "mempool_cap", p.mempool_cap);
   p.capacity_min = u32_field(v, "capacity_min", p.capacity_min);
   p.capacity_max = u32_field(v, "capacity_max", p.capacity_max);
   p.standby = u32_field(v, "standby", p.standby);
@@ -270,6 +273,14 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
   w.field("cross_shard_fraction", params.cross_shard_fraction);
   w.field("invalid_fraction", params.invalid_fraction);
   w.field("users", params.users);
+  // Emitted only when the open-loop source is on: the source is inert at
+  // rate 0 and zipf_s / mempool_cap are meaningless without it, so
+  // legacy closed-loop specs keep their exact byte encoding.
+  if (params.arrival_rate > 0.0) {
+    w.field("arrival_rate", params.arrival_rate);
+    w.field("zipf_s", params.zipf_s);
+    w.field("mempool_cap", params.mempool_cap);
+  }
   w.field("capacity_min", params.capacity_min);
   w.field("capacity_max", params.capacity_max);
   w.field("standby", params.standby);
@@ -613,6 +624,21 @@ std::vector<ScenarioSpec> default_matrix() {
     epochs.adversary = voters;
     epochs.seeds = axes.seeds;
     matrix.push_back(epochs);
+  }
+
+  // Bounded open-loop point: Poisson/Zipf sustained traffic at ~83% of
+  // nominal capacity with a small per-shard mempool, exercising the
+  // admission / drain / latency-stamping path under the tier-1 gate.
+  {
+    ScenarioSpec load;
+    load.name = "load/openloop";
+    load.params = axes.base;
+    load.params.arrival_rate = 0.15;
+    load.params.zipf_s = 1.1;
+    load.params.mempool_cap = 24;
+    load.rounds = 3;
+    load.seeds = axes.seeds;
+    matrix.push_back(load);
   }
   return matrix;
 }

@@ -1,0 +1,75 @@
+#include "ledger/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cyc::ledger {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("zipf: n must be > 0");
+  if (s < 0.0) throw std::invalid_argument("zipf: exponent must be >= 0");
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_.push_back(total);
+  }
+}
+
+std::size_t ZipfSampler::sample(rng::Stream& rng) const {
+  const double u = rng.uniform() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  return std::min(idx, cdf_.size() - 1);
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return (cdf_[rank] - lo) / cdf_.back();
+}
+
+OpenLoopSource::OpenLoopSource(OpenLoopConfig config,
+                               WorkloadGenerator& workload, std::uint64_t seed)
+    : config_(config),
+      workload_(workload),
+      zipf_(workload.config().users, config.zipf_s),
+      rng_(rng::Stream(seed).fork("openloop")) {
+  if (config_.arrival_rate <= 0.0) {
+    throw std::invalid_argument("openloop: arrival_rate must be > 0");
+  }
+  // First inter-arrival gap; subsequent gaps are drawn as each arrival
+  // is emitted, so the stream is independent of window slicing.
+  next_arrival_ = -std::log(1.0 - rng_.uniform()) / config_.arrival_rate;
+}
+
+std::vector<Arrival> OpenLoopSource::arrivals_until(double until) {
+  std::vector<Arrival> out;
+  while (next_arrival_ < until) {
+    Arrival arrival;
+    arrival.time = next_arrival_;
+    next_arrival_ += -std::log(1.0 - rng_.uniform()) / config_.arrival_rate;
+
+    if (rng_.chance(config_.invalid_fraction)) {
+      const auto kind = static_cast<InvalidKind>(rng_.below(4));
+      arrival.tx = workload_.inject_invalid(kind);
+    } else {
+      const std::size_t user = zipf_.sample(rng_);
+      arrival.tx = workload_.next_tx_from(
+          user, rng_.chance(config_.cross_shard_fraction));
+    }
+    if (arrival.tx.inputs.empty()) {
+      // Whole spendable pool dry: the arrival happened (the client sent
+      // it) but no valid spend exists to represent it.
+      exhausted_ += 1;
+      continue;
+    }
+    generated_ += 1;
+    out.push_back(std::move(arrival));
+  }
+  clock_ = until;
+  return out;
+}
+
+}  // namespace cyc::ledger

@@ -1,0 +1,103 @@
+// Open-loop sustained-traffic source (ROADMAP: the "millions of users"
+// question is *where does the system saturate and what breaks first*).
+//
+// The closed-loop workload hands every committee a fixed batch per round,
+// so offered load can never exceed service capacity and latency is
+// meaningless. This module supplies the missing half: a deterministic
+// Poisson arrival process in *simulated time* (exponential inter-arrival
+// gaps at a configurable rate) with Zipf-distributed account popularity —
+// hot accounts live on one shard, so skew in the account distribution
+// becomes skew in per-shard offered load. Transactions are built by the
+// WorkloadGenerator (so they spend confirmed outputs and carry ground
+// truth); the engine admits them into bounded per-shard mempools
+// (ledger/mempool.hpp) and stamps arrival -> commit latency.
+//
+// Everything is a pure function of (config, seed): two sources with the
+// same inputs emit byte-identical arrival streams regardless of how the
+// caller slices the timeline into windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ledger/types.hpp"
+#include "ledger/workload.hpp"
+#include "support/rng.hpp"
+
+namespace cyc::ledger {
+
+/// Zipf(s) sampler over ranks [0, n): P[rank k] proportional to
+/// 1 / (k+1)^s. s = 0 degenerates to the uniform distribution. Sampling
+/// is an inverse-CDF binary search over precomputed cumulative weights,
+/// so one draw costs one uniform + O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(rng::Stream& rng) const;
+
+  /// Exact probability mass of `rank` (tests check empirical frequencies
+  /// against this within tolerance).
+  double probability(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  double s_ = 0.0;
+  std::vector<double> cdf_;  ///< cumulative, cdf_.back() == total mass
+};
+
+struct OpenLoopConfig {
+  double arrival_rate = 1.0;  ///< expected arrivals per unit simulated time
+  double zipf_s = 1.0;        ///< account-popularity exponent (0 = uniform)
+  double cross_shard_fraction = 0.2;
+  double invalid_fraction = 0.0;
+};
+
+/// One arrival: a transaction and the simulated time it entered the
+/// system. The engine keys latency accounting on tx.id().
+struct Arrival {
+  double time = 0.0;
+  Transaction tx;
+};
+
+/// The open-loop source: an unbounded Poisson/Zipf client population
+/// layered on a WorkloadGenerator. The caller advances simulated time in
+/// windows (one per protocol round) and receives every arrival that fell
+/// inside; arrivals the mempool cannot admit are the caller's to reject
+/// (backpressure drops, not source state).
+class OpenLoopSource {
+ public:
+  /// `workload` must outlive the source; its user population defines the
+  /// Zipf ranks (rank r -> user r; user -> shard assignment is already
+  /// pseudorandom, so the hottest account makes some shard hot).
+  OpenLoopSource(OpenLoopConfig config, WorkloadGenerator& workload,
+                 std::uint64_t seed);
+
+  /// Every arrival with timestamp in [clock(), until), in time order;
+  /// advances clock() to `until`. Transactions whose spend could not be
+  /// generated at all (whole pool dry) are dropped here and counted in
+  /// exhausted(); partial misses fall back inside the generator and
+  /// count in WorkloadGenerator::shortfall().
+  std::vector<Arrival> arrivals_until(double until);
+
+  double clock() const { return clock_; }
+  std::uint64_t generated() const { return generated_; }
+  /// Arrivals lost because the spendable pool was completely dry.
+  std::uint64_t exhausted() const { return exhausted_; }
+  const OpenLoopConfig& config() const { return config_; }
+  const ZipfSampler& zipf() const { return zipf_; }
+
+ private:
+  OpenLoopConfig config_;
+  WorkloadGenerator& workload_;
+  ZipfSampler zipf_;
+  rng::Stream rng_;
+  double clock_ = 0.0;
+  double next_arrival_ = 0.0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t exhausted_ = 0;
+};
+
+}  // namespace cyc::ledger

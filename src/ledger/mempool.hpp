@@ -1,0 +1,75 @@
+// Bounded per-shard mempool with admission control (open-loop traffic).
+//
+// Each shard owns one FIFO queue of pending transactions, capped at a
+// fixed capacity. Admission is drop-with-count: when the queue is full
+// the new transaction is rejected and the drop recorded — the open-loop
+// source never blocks (that would close the loop and hide saturation).
+// The engine drains at most its per-round service budget from the front,
+// so under sustained overload occupancy pins at capacity and the drop
+// counter grows — exactly the backpressure signal the sustained-load
+// bench sweeps for. All operations are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ledger/types.hpp"
+
+namespace cyc::ledger {
+
+/// One admitted transaction plus the simulated time it arrived (the
+/// timestamp rides along so carryover and latency accounting never need
+/// a side lookup at drain time).
+struct PendingTx {
+  Transaction tx;
+  double arrival = 0.0;
+};
+
+class ShardMempool {
+ public:
+  explicit ShardMempool(std::size_t capacity) : capacity_(capacity) {}
+
+  bool full() const { return queue_.size() >= capacity_; }
+
+  /// Admit `tx` at the queue tail. Returns false (and counts the drop)
+  /// when the pool is at capacity; the caller owns rejected transactions
+  /// (typically returning their inputs to the workload pool).
+  bool admit(const Transaction& tx, double arrival) {
+    if (full()) {
+      dropped_ += 1;
+      return false;
+    }
+    queue_.push_back(PendingTx{tx, arrival});
+    admitted_ += 1;
+    return true;
+  }
+
+  /// Pop up to `max` transactions from the front, in admission order.
+  std::vector<PendingTx> drain(std::size_t max) {
+    std::vector<PendingTx> out;
+    const std::size_t count = std::min(max, queue_.size());
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    drained_ += count;
+    return out;
+  }
+
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t drained() const { return drained_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<PendingTx> queue_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t drained_ = 0;
+};
+
+}  // namespace cyc::ledger

@@ -89,7 +89,11 @@ std::size_t WorkloadGenerator::pick_user_not_in_shard(ShardId shard) {
 Transaction WorkloadGenerator::make_valid_tx(bool cross_shard) {
   const std::size_t spender = pick_user_with_funds();
   if (spender == users_.size()) return Transaction{};  // empty sentinel
+  return make_valid_tx_from(spender, cross_shard);
+}
 
+Transaction WorkloadGenerator::make_valid_tx_from(std::size_t spender,
+                                                  bool cross_shard) {
   Transaction tx;
   tx.spender = users_[spender].pk;
   Spendable input = pool_[spender].front();
@@ -185,10 +189,25 @@ std::vector<Transaction> WorkloadGenerator::next_batch(std::size_t count) {
       continue;
     }
     Transaction tx = make_valid_tx(rng_.chance(config_.cross_shard_fraction));
-    if (tx.inputs.empty()) break;  // pool dry
+    if (tx.inputs.empty()) {  // pool dry: the deficit is real offered load
+      shortfall_ += count - batch.size();
+      break;
+    }
     batch.push_back(std::move(tx));
   }
   return batch;
+}
+
+Transaction WorkloadGenerator::next_tx_from(std::size_t user,
+                                            bool cross_shard) {
+  if (user < pool_.size() && !pool_[user].empty()) {
+    return make_valid_tx_from(user, cross_shard);
+  }
+  // The requested account has no confirmed output: count the miss (the
+  // skew the caller asked for is not being served) and keep the offered
+  // load up by spending from any funded user instead.
+  shortfall_ += 1;
+  return make_valid_tx(cross_shard);
 }
 
 void WorkloadGenerator::mark_committed(const Transaction& tx) {

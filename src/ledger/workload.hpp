@@ -49,8 +49,32 @@ class WorkloadGenerator {
   const std::vector<UtxoStore>& genesis() const { return genesis_; }
 
   /// Generate up to `count` transactions (fewer if the spendable pool
-  /// runs dry). Valid ones spend confirmed outputs only.
+  /// runs dry — every missing transaction is counted in shortfall()).
+  /// Valid ones spend confirmed outputs only.
   std::vector<Transaction> next_batch(std::size_t count);
+
+  /// Open-loop entry point: a valid spend from `user` when that user has
+  /// confirmed funds; otherwise the request counts in shortfall() and
+  /// falls back to any funded user (preserving offered load at the cost
+  /// of the requested skew), returning the empty sentinel only when the
+  /// whole pool is dry. `user` must be < config().users.
+  Transaction next_tx_from(std::size_t user, bool cross_shard);
+
+  /// Inject one ground-truth-invalid transaction (open-loop sources mix
+  /// these in at their own rate; next_batch keeps drawing kinds
+  /// internally from config().invalid_fraction).
+  Transaction inject_invalid(InvalidKind kind) { return make_invalid_tx(kind); }
+
+  /// Requested transactions the generator could not produce from the
+  /// requested source: next_batch calls cut short by a dry pool and
+  /// next_tx_from calls whose preferred user had no confirmed output.
+  /// A silently deflated offered load looks exactly like a healthy
+  /// under-loaded system in every throughput metric, so the open-loop
+  /// engine surfaces this counter per round.
+  std::uint64_t shortfall() const { return shortfall_; }
+
+  /// Home shard of `user` (arrival sources route by spender shard).
+  ShardId shard_of_user(std::size_t user) const { return user_shard_[user]; }
 
   /// Report that `tx` was committed: its outputs become spendable.
   void mark_committed(const Transaction& tx);
@@ -73,6 +97,7 @@ class WorkloadGenerator {
   };
 
   Transaction make_valid_tx(bool cross_shard);
+  Transaction make_valid_tx_from(std::size_t spender, bool cross_shard);
   Transaction make_invalid_tx(InvalidKind kind);
   std::size_t pick_user_with_funds();
   std::size_t pick_user_in_shard(ShardId shard);
@@ -89,6 +114,7 @@ class WorkloadGenerator {
   // Inputs consumed by in-flight txs: txid -> consumed spendables.
   std::unordered_map<std::string, std::vector<Spendable>> in_flight_;
   std::unordered_map<std::string, bool> ground_truth_;
+  std::uint64_t shortfall_ = 0;
 };
 
 }  // namespace cyc::ledger

@@ -61,6 +61,21 @@ Engine::Engine(Params params, AdversaryConfig adversary, EngineOptions options)
       wl, rng_.fork("workload").seed());
   shard_state_ = workload_->genesis();
 
+  if (open_loop()) {
+    // Sustained-traffic mode: arrivals come from a dedicated stream (the
+    // closed-loop path never touches it, and forking is a pure function
+    // of (seed, name), so a zero rate stays byte-identical).
+    ledger::OpenLoopConfig ol;
+    ol.arrival_rate = params_.arrival_rate;
+    ol.zipf_s = params_.zipf_s;
+    ol.cross_shard_fraction = params_.cross_shard_fraction;
+    ol.invalid_fraction = params_.invalid_fraction;
+    openloop_ = std::make_unique<ledger::OpenLoopSource>(
+        ol, *workload_, rng_.fork("openloop").seed());
+    mempools_.assign(params_.m,
+                     ledger::ShardMempool(params_.mempool_cap));
+  }
+
   assign_genesis_roles();
   link_classifier_install();
 }
@@ -517,14 +532,21 @@ void Engine::start_round_state() {
   }
 
   // Draw this round's workload and split per committee; the previous
-  // round's Remaining TX List (§IV-G) goes in first.
-  const std::size_t want =
-      static_cast<std::size_t>(params_.txs_per_committee) * params_.m;
+  // round's Remaining TX List (§IV-G) goes in first. Closed loop: a
+  // fixed batch tops the lists up to txs_per_committee * m. Open loop:
+  // Poisson arrivals are admitted to the bounded per-shard mempools and
+  // each committee drains at most its per-round service budget.
   std::vector<ledger::Transaction> batch = std::move(carryover_);
   carryover_.clear();
-  const std::size_t fresh = want > batch.size() ? want - batch.size() : 0;
-  for (auto& tx : workload_->next_batch(fresh)) {
-    batch.push_back(std::move(tx));
+  if (!open_loop()) {
+    const std::size_t want =
+        static_cast<std::size_t>(params_.txs_per_committee) * params_.m;
+    const std::size_t fresh = want > batch.size() ? want - batch.size() : 0;
+    for (auto& tx : workload_->next_batch(fresh)) {
+      batch.push_back(std::move(tx));
+    }
+  } else {
+    openloop_ingest(batch);
   }
   for (auto& tx : batch) {
     const std::uint32_t k = tx.input_shard(params_.m);
@@ -546,6 +568,62 @@ void Engine::start_round_state() {
   // verdicts below must reflect *this* round's connectivity.
   net_->begin_round(round_);
   compute_severed();
+}
+
+double Engine::nominal_round_duration() const {
+  return (params_.config_duration + params_.semicommit_duration +
+          params_.intra_duration + params_.inter_duration +
+          params_.reputation_duration + params_.selection_duration +
+          params_.block_duration) *
+         params_.delays.delta;
+}
+
+void Engine::openloop_ingest(std::vector<ledger::Transaction>& batch) {
+  openloop_round_ = OpenLoopRoundStats{};
+
+  // Generate this round's arrival window and admit into the mempools.
+  // A transaction rejected at admission returns its inputs to the
+  // workload pool (mark_rejected no-ops for invalid injections).
+  const double window_end = openloop_clock_ + nominal_round_duration();
+  for (auto& arrival : openloop_->arrivals_until(window_end)) {
+    openloop_round_.arrived += 1;
+    const std::uint32_t k = arrival.tx.input_shard(params_.m);
+    if (mempools_[k].admit(arrival.tx, arrival.time)) {
+      openloop_round_.admitted += 1;
+      const auto id = arrival.tx.id();
+      arrival_times_[std::string(id.begin(), id.end())] = arrival.time;
+    } else {
+      openloop_round_.mempool_dropped += 1;
+      workload_->mark_rejected(arrival.tx);
+    }
+  }
+  openloop_round_.arrived += openloop_->exhausted() - openloop_exhausted_;
+  openloop_round_.exhausted = openloop_->exhausted() - openloop_exhausted_;
+  openloop_exhausted_ = openloop_->exhausted();
+  openloop_clock_ = window_end;
+
+  // Drain each committee's service budget, after its §IV-G carryover
+  // share: the Remaining TX List re-enters the lists first and counts
+  // against the same per-round bound.
+  std::vector<std::size_t> carried(params_.m, 0);
+  for (const auto& tx : batch) {
+    carried[tx.input_shard(params_.m)] += 1;
+  }
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    const std::size_t budget =
+        params_.txs_per_committee > carried[k]
+            ? params_.txs_per_committee - carried[k]
+            : 0;
+    for (auto& pending : mempools_[k].drain(budget)) {
+      openloop_round_.drained += 1;
+      batch.push_back(std::move(pending.tx));
+    }
+  }
+  openloop_round_.occupancy.reserve(params_.m);
+  for (const auto& pool : mempools_) {
+    openloop_round_.backlog += pool.size();
+    openloop_round_.occupancy.push_back(pool.size());
+  }
 }
 
 RoundReport Engine::run_round() {
@@ -652,6 +730,7 @@ void Engine::finalize_round(RoundReport& report) {
     for (const auto& in : tx.inputs) {
       if (spent_in_block.contains(in)) {
         report.invalid_rejected += 1;
+        arrival_times_.erase(key);  // will never commit (open loop only)
         return;
       }
     }
@@ -670,6 +749,7 @@ void Engine::finalize_round(RoundReport& report) {
       }
     } else {
       report.invalid_committed += 1;
+      arrival_times_.erase(key);
     }
   };
 
@@ -785,11 +865,31 @@ void Engine::finalize_round(RoundReport& report) {
           } else {
             workload_->mark_rejected(tx);
             last_flow_.dropped += 1;
+            // A dropped transaction will never commit: retire its
+            // arrival stamp (no-op in closed-loop mode).
+            arrival_times_.erase(key);
           }
         }
       }
     }
     last_flow_.foreign = seen_ids.size() - last_flow_.settled;
+  }
+
+  // --- Open-loop latency accounting. --- Every committed transaction's
+  // end-to-end latency is its block-commit stamp (the end of this
+  // round's arrival window, in simulated time) minus its admission
+  // timestamp. Carryover transactions keep their stamps and pay for the
+  // extra rounds they wait.
+  if (open_loop()) {
+    openloop_round_.source_shortfall = workload_->shortfall();
+    for (const auto& tx : committed) {
+      const auto id = tx.id();
+      const auto it = arrival_times_.find(std::string(id.begin(), id.end()));
+      if (it == arrival_times_.end()) continue;  // e.g. genesis carryover
+      openloop_round_.latencies.push_back(openloop_clock_ - it->second);
+      arrival_times_.erase(it);
+    }
+    report.open_loop = openloop_round_;
   }
 
   // --- Reputation updates (§IV-E scores, §VII-A bonus, §VII-B punish). ---

@@ -17,10 +17,13 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "consensus/engine.hpp"
+#include "ledger/arrivals.hpp"
 #include "ledger/block.hpp"
+#include "ledger/mempool.hpp"
 #include "ledger/validator.hpp"
 #include "ledger/workload.hpp"
 #include "net/simnet.hpp"
@@ -189,6 +192,18 @@ class Engine {
   const std::vector<ledger::Transaction>& carryover() const {
     return carryover_;
   }
+
+  /// Whether the open-loop sustained-traffic source is driving the
+  /// workload (Params::arrival_rate > 0); the closed-loop fixed batch
+  /// otherwise, byte-identical to the pre-open-loop engine.
+  bool open_loop() const { return params_.arrival_rate > 0.0; }
+  /// Per-shard mempools (empty vector in closed-loop mode).
+  const std::vector<ledger::ShardMempool>& mempools() const {
+    return mempools_;
+  }
+  /// End of the last generated arrival window in simulated time (the
+  /// commit stamp every transaction in that round's block receives).
+  double open_loop_clock() const { return openloop_clock_; }
 
   /// Corrupt a node at the start of the current round; the behaviour
   /// takes effect one round later (mildly-adaptive adversary, §III-C).
@@ -393,6 +408,13 @@ class Engine {
   void compute_severed();
   /// Any node currently inside a blackout window?
   bool has_active_blackout() const;
+  /// The scheduled length of one round in simulated time (the seven
+  /// phase durations, in units of Delta) — the open-loop arrival window.
+  double nominal_round_duration() const;
+  /// Open-loop half of start_round_state: generate this round's arrival
+  /// window, admit into the mempools, and drain each committee's list
+  /// budget (txs_per_committee minus its §IV-G carryover share).
+  void openloop_ingest(std::vector<ledger::Transaction>& batch);
   crypto::PublicKey expected_instance_leader(std::uint32_t scope,
                                              std::uint64_t sn) const;
   std::vector<net::NodeId> instance_peers(std::uint32_t scope) const;
@@ -478,6 +500,18 @@ class Engine {
   crypto::Digest randomness_{};
   crypto::Digest next_randomness_{};
   std::unique_ptr<ledger::WorkloadGenerator> workload_;
+  // Open-loop traffic (all inert when params_.arrival_rate == 0): the
+  // Poisson/Zipf source, the bounded per-shard mempools the engine
+  // drains each round, arrival timestamps of every in-flight admitted
+  // transaction (erased on commit / ground-truth drop), and the arrival
+  // clock — the end of the last generated window, advanced by the
+  // nominal round duration each round so windows tile simulated time.
+  std::unique_ptr<ledger::OpenLoopSource> openloop_;
+  std::vector<ledger::ShardMempool> mempools_;
+  std::unordered_map<std::string, double> arrival_times_;
+  double openloop_clock_ = 0.0;
+  std::uint64_t openloop_exhausted_ = 0;  ///< source exhausted() last seen
+  OpenLoopRoundStats openloop_round_;
   std::vector<ledger::UtxoStore> shard_state_;
   ledger::Chain chain_;
   ledger::Block last_block_;       // full body of the newest chain block

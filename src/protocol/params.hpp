@@ -40,6 +40,18 @@ struct Params {
   double invalid_fraction = 0.05;
   std::uint32_t users = 0;  ///< 0 = auto (16 per shard)
 
+  /// Open-loop sustained-traffic source (src/ledger/README.md). 0 keeps
+  /// the closed-loop fixed-batch workload bit-for-bit. When > 0: expected
+  /// transaction arrivals per unit of simulated time (Poisson process,
+  /// Zipf(zipf_s) account popularity — hot accounts make hot shards),
+  /// admitted into bounded per-shard mempools of `mempool_cap` entries
+  /// (drop-with-count when full) that the engine drains — up to
+  /// txs_per_committee per committee — each round, with per-transaction
+  /// arrival -> commit latency reported in RoundReport::open_loop.
+  double arrival_rate = 0.0;
+  double zipf_s = 1.0;              ///< account-popularity exponent (0 = uniform)
+  std::uint32_t mempool_cap = 256;  ///< per-shard admission bound
+
   /// Vote capacity model (§VII: reputation reflects computing power):
   /// node capacity is drawn uniformly from [capacity_min, capacity_max];
   /// a node judges at most `capacity` transactions per list and votes

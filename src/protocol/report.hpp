@@ -34,6 +34,27 @@ struct CatchUpRecord {
   crypto::Digest adopted_digest{};
 };
 
+/// Open-loop traffic accounting for one round (all fields stay zero /
+/// empty unless Params::arrival_rate > 0, so closed-loop reports are
+/// unchanged). Conservation: arrived == admitted + mempool_dropped +
+/// exhausted per round, and cumulatively admitted == drained + backlog.
+struct OpenLoopRoundStats {
+  std::uint64_t arrived = 0;   ///< Poisson arrivals in this round's window
+  std::uint64_t admitted = 0;  ///< accepted by a shard mempool
+  std::uint64_t mempool_dropped = 0;  ///< rejected: mempool at capacity
+  std::uint64_t exhausted = 0;        ///< unrepresentable: spendable pool dry
+  std::uint64_t drained = 0;   ///< moved from mempools into this round's lists
+  std::uint64_t backlog = 0;   ///< total mempool occupancy after the drain
+  /// Cumulative WorkloadGenerator::shortfall() — requests the generator
+  /// could not serve from the requested (Zipf-picked) account.
+  std::uint64_t source_shortfall = 0;
+  std::vector<std::size_t> occupancy;  ///< per-shard occupancy after drain
+  /// Arrival -> block-commit latency in simulated time, one entry per
+  /// transaction committed this round (commit stamps at the end of the
+  /// round's window), in block order.
+  std::vector<double> latencies;
+};
+
 struct CommitteeRoundStats {
   std::uint32_t committee = 0;
   std::size_t txs_listed = 0;       ///< offered in TXList(s)
@@ -60,6 +81,7 @@ struct RoundReport {
   std::vector<RecoveryEvent> recovery_events;
   std::vector<CatchUpRecord> catchup_events;  ///< crash-recovery attempts
   std::vector<CommitteeRoundStats> committees;
+  OpenLoopRoundStats open_loop;        ///< sustained-traffic accounting
   net::FaultStats faults;              ///< injected network faults
   double round_latency = 0.0;          ///< simulated time consumed
   double total_fees = 0.0;

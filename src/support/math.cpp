@@ -107,4 +107,17 @@ double fit_slope(const std::vector<double>& x, const std::vector<double>& y) {
   return (n * sxy - sx * sy) / denom;
 }
 
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  std::sort(sample.begin(), sample.end());
+  // Nearest rank: ceil(q * n) in 1-based indexing, clamped to [1, n].
+  const auto n = sample.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sample[rank - 1];
+}
+
 }  // namespace cyc::math

@@ -54,4 +54,13 @@ double log_add(double la, double lb);
 /// caller; used for log-log complexity fitting in Table II validation).
 double fit_slope(const std::vector<double>& x, const std::vector<double>& y);
 
+/// Exact sample quantile by the nearest-rank method: the smallest sample
+/// element v such that at least ceil(q * n) of the sample is <= v, with
+/// q = 0 mapping to the minimum. The result is always an element of the
+/// sample (no interpolation), so latency percentiles derived from
+/// deterministic simulations stay byte-stable in JSON artifacts. The
+/// input need not be sorted; q outside [0, 1] is clamped. Returns 0.0 on
+/// an empty sample.
+double percentile(std::vector<double> sample, double q);
+
 }  // namespace cyc::math

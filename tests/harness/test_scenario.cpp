@@ -256,14 +256,14 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
   // 3 adversary mixes x 2 delay regimes x 2 cross fractions x 2 capacity
   // skews + 2 churn scenarios + committee-shape + high-invalid + 3 fault-
   // fabric scenarios (partition-heal, crash-restart, lossy links) +
-  // multi-epoch; 3 seeds each.
-  EXPECT_EQ(matrix.size(), 32u);
+  // multi-epoch + open-loop sustained load; 3 seeds each.
+  EXPECT_EQ(matrix.size(), 33u);
   std::size_t points = 0;
   for (const auto& spec : matrix) {
     points += spec.seeds.size();
     EXPECT_EQ(spec.seeds.size(), 3u) << spec.name;
   }
-  EXPECT_EQ(points, 96u);
+  EXPECT_EQ(points, 99u);
   // The crossed axes run 3 rounds (ROADMAP growth item).
   EXPECT_EQ(matrix.front().rounds, 3u);
   bool has_events = false;
@@ -273,6 +273,7 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
   bool has_partition = false;
   bool has_restart = false;
   bool has_lossy = false;
+  bool has_openloop = false;
   for (const auto& spec : matrix) {
     has_events |= !spec.events.empty();
     has_epochs |= spec.epochs >= 3 && spec.churn_rate > 0.0;
@@ -281,6 +282,7 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
     has_high_invalid |=
         spec.params.invalid_fraction > matrix.front().params.invalid_fraction;
     has_lossy |= spec.params.faults.any();
+    has_openloop |= spec.params.arrival_rate > 0.0;
     for (const auto& ev : spec.events) {
       has_partition |= ev.kind == ScenarioEvent::Kind::kPartition;
       has_restart |= ev.kind == ScenarioEvent::Kind::kRestart;
@@ -297,6 +299,8 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
   EXPECT_TRUE(has_restart)
       << "default matrix must include a crash-restart point";
   EXPECT_TRUE(has_lossy) << "default matrix must include a lossy-link point";
+  EXPECT_TRUE(has_openloop)
+      << "default matrix must include an open-loop sustained-load point";
 }
 
 TEST(BehaviorTokens, RoundTripAllBehaviors) {

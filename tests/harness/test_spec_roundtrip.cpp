@@ -167,6 +167,50 @@ TEST(SpecRoundTrip, FaultFabricFieldsSurvive) {
   EXPECT_EQ(text.find("\"duration\""), std::string::npos);
 }
 
+TEST(SpecRoundTrip, OpenLoopFieldsSurvive) {
+  ScenarioSpec spec;
+  spec.name = "load/maxed";
+  spec.rounds = 4;
+  spec.params.arrival_rate = 0.25;
+  spec.params.zipf_s = 1.3;
+  spec.params.mempool_cap = 48;
+
+  expect_byte_identical_roundtrip(spec);
+
+  const ScenarioSpec parsed = ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_DOUBLE_EQ(parsed.params.arrival_rate, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.params.zipf_s, 1.3);
+  EXPECT_EQ(parsed.params.mempool_cap, 48u);
+
+  // Legacy encoding stability: a closed-loop spec (arrival_rate 0) must
+  // not emit any of the open-loop fields, even when the inert knobs hold
+  // non-default values — old documents stay byte-stable.
+  ScenarioSpec legacy;
+  legacy.params.zipf_s = 1.4;
+  legacy.params.mempool_cap = 8;
+  const std::string text = legacy.to_json_text();
+  EXPECT_EQ(text.find("arrival_rate"), std::string::npos);
+  EXPECT_EQ(text.find("zipf_s"), std::string::npos);
+  EXPECT_EQ(text.find("mempool_cap"), std::string::npos);
+  EXPECT_EQ(text, ScenarioSpec{}.to_json_text());
+}
+
+TEST(SpecRoundTrip, OpenLoopFuzzAxesRoundTrip) {
+  // The opt-in fuzz axes emit open-loop specs whose short-decimal grids
+  // must round-trip like every other generated field.
+  fuzz::FuzzBounds bounds;
+  bounds.openloop_fraction = 1.0;
+  bool saw_openloop = false;
+  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+    rng::Stream rng(seed);
+    ScenarioSpec spec = fuzz::generate_spec(rng, bounds);
+    spec.name = "roundtrip/ol" + std::to_string(seed);
+    saw_openloop = saw_openloop || spec.params.arrival_rate > 0.0;
+    expect_byte_identical_roundtrip(spec);
+  }
+  EXPECT_TRUE(saw_openloop);
+}
+
 TEST(SpecRoundTrip, DefaultAndDefaultMatrixSpecs) {
   expect_byte_identical_roundtrip(ScenarioSpec{});
   for (const ScenarioSpec& spec : default_matrix()) {

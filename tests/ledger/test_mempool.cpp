@@ -1,0 +1,73 @@
+#include "ledger/mempool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyc::ledger {
+namespace {
+
+Transaction tagged_tx(std::uint8_t tag) {
+  Transaction tx;
+  OutPoint in;
+  in.tx.fill(tag);
+  in.index = tag;
+  tx.inputs.push_back(in);
+  return tx;
+}
+
+TEST(Mempool, AdmitsUpToCapacityThenDrops) {
+  ShardMempool pool(3);
+  EXPECT_TRUE(pool.admit(tagged_tx(1), 0.5));
+  EXPECT_TRUE(pool.admit(tagged_tx(2), 1.0));
+  EXPECT_TRUE(pool.admit(tagged_tx(3), 1.5));
+  EXPECT_TRUE(pool.full());
+  EXPECT_FALSE(pool.admit(tagged_tx(4), 2.0));
+  EXPECT_FALSE(pool.admit(tagged_tx(5), 2.5));
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.admitted(), 3u);
+  EXPECT_EQ(pool.dropped(), 2u);
+}
+
+TEST(Mempool, DrainIsFifoAndKeepsArrivalStamps) {
+  ShardMempool pool(8);
+  for (std::uint8_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(pool.admit(tagged_tx(i), static_cast<double>(i)));
+  }
+  const auto first = pool.drain(3);
+  ASSERT_EQ(first.size(), 3u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].tx.inputs[0].index, i + 1);
+    EXPECT_EQ(first[i].arrival, static_cast<double>(i + 1));
+  }
+  // Draining frees capacity again.
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_FALSE(pool.full());
+  const auto rest = pool.drain(100);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].tx.inputs[0].index, 4u);
+  EXPECT_EQ(rest[1].tx.inputs[0].index, 5u);
+  EXPECT_EQ(pool.drained(), 5u);
+  EXPECT_EQ(pool.drain(4).size(), 0u);
+}
+
+TEST(Mempool, ConservationAcrossMixedTraffic) {
+  ShardMempool pool(4);
+  std::uint64_t accepted = 0;
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    if (pool.admit(tagged_tx(i), static_cast<double>(i))) accepted += 1;
+    if (i % 3 == 2) pool.drain(1);
+  }
+  EXPECT_EQ(pool.admitted(), accepted);
+  EXPECT_EQ(pool.admitted(), pool.drained() + pool.size());
+  EXPECT_EQ(pool.admitted() + pool.dropped(), 20u);
+}
+
+TEST(Mempool, ZeroCapacityDropsEverything) {
+  ShardMempool pool(0);
+  EXPECT_TRUE(pool.full());
+  EXPECT_FALSE(pool.admit(tagged_tx(1), 0.0));
+  EXPECT_EQ(pool.dropped(), 1u);
+  EXPECT_EQ(pool.drain(1).size(), 0u);
+}
+
+}  // namespace
+}  // namespace cyc::ledger

@@ -172,6 +172,50 @@ TEST(Workload, DoubleSpendPairsAreIndividuallyValid) {
   }
 }
 
+TEST(Workload, ShortfallCounterSurfacesDryPool) {
+  // Regression: next_batch used to return fewer transactions than asked
+  // with no signal when the spendable pool ran dry, silently deflating
+  // offered load. The shortfall counter now records every unserved slot.
+  auto cfg = base_config();
+  cfg.users = 32;
+  cfg.outputs_per_user = 1;
+  WorkloadGenerator gen(cfg, 13);
+  EXPECT_EQ(gen.shortfall(), 0u);
+  const auto batch = gen.next_batch(1000);
+  ASSERT_LT(batch.size(), 1000u);
+  EXPECT_EQ(gen.shortfall(), 1000u - batch.size());
+  // Committing replenishes the pool; further shortfalls accumulate on
+  // top of the existing count rather than resetting.
+  const auto before = gen.shortfall();
+  for (const auto& tx : batch) gen.mark_committed(tx);
+  auto more = gen.next_batch(5);
+  EXPECT_EQ(more.size(), 5u);
+  EXPECT_EQ(gen.shortfall(), before);
+}
+
+TEST(Workload, NextTxFromPrefersRequestedUser) {
+  WorkloadGenerator gen(base_config(), 14);
+  // User 3 has funds at genesis: the tx must spend user 3's outputs.
+  const auto tx = gen.next_tx_from(3, false);
+  ASSERT_FALSE(tx.inputs.empty());
+  EXPECT_EQ(gen.shortfall(), 0u);
+  EXPECT_EQ(tx.input_shard(4), gen.shard_of_user(3));
+}
+
+TEST(Workload, NextTxFromFallsBackAndCounts) {
+  auto cfg = base_config();
+  cfg.users = 4;
+  cfg.outputs_per_user = 1;
+  WorkloadGenerator gen(cfg, 15);
+  // Drain user 0's only output, then ask for user 0 again: the source
+  // falls back to any funded user and records the miss.
+  const auto first = gen.next_tx_from(0, false);
+  ASSERT_FALSE(first.inputs.empty());
+  const auto second = gen.next_tx_from(0, false);
+  ASSERT_FALSE(second.inputs.empty());
+  EXPECT_EQ(gen.shortfall(), 1u);
+}
+
 TEST(Workload, InvalidConfigThrows) {
   auto cfg = base_config();
   cfg.shards = 0;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+
+#include "support/parallel.hpp"
 
 namespace cyc::math {
 namespace {
@@ -123,6 +126,59 @@ TEST(MathTest, FitSlopeErrors) {
   EXPECT_THROW(fit_slope({1.0}, {1.0}), std::invalid_argument);
   EXPECT_THROW(fit_slope({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
   EXPECT_THROW(fit_slope({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(MathTest, PercentileExactSmallSamples) {
+  // Nearest-rank: the result is always an element of the sample.
+  const std::vector<double> s = {15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_EQ(percentile(s, 0.05), 15.0);  // ceil(0.25) = 1st
+  EXPECT_EQ(percentile(s, 0.30), 20.0);  // ceil(1.5) = 2nd
+  EXPECT_EQ(percentile(s, 0.40), 20.0);  // ceil(2.0) = 2nd
+  EXPECT_EQ(percentile(s, 0.50), 35.0);  // ceil(2.5) = 3rd
+  EXPECT_EQ(percentile(s, 1.00), 50.0);
+  EXPECT_EQ(percentile(s, 0.00), 15.0);
+}
+
+TEST(MathTest, PercentileEdgeCases) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_EQ(percentile({7.5}, 0.0), 7.5);
+  EXPECT_EQ(percentile({7.5}, 0.5), 7.5);
+  EXPECT_EQ(percentile({7.5}, 1.0), 7.5);
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_EQ(percentile({1.0, 2.0}, -0.3), 1.0);
+  EXPECT_EQ(percentile({1.0, 2.0}, 1.7), 2.0);
+}
+
+TEST(MathTest, PercentileOrderInvariant) {
+  const std::vector<double> sorted = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<double> shuffled = {7, 2, 10, 5, 1, 9, 4, 8, 3, 6};
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(percentile(sorted, q), percentile(shuffled, q)) << "q=" << q;
+  }
+}
+
+TEST(MathTest, PercentileDeterministicAcrossThreadCounts) {
+  // The sustained-load bench aggregates latencies on the parallel sweep
+  // pool; the percentile of a fixed sample must be bit-identical no
+  // matter how many workers computed it.
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) {
+    sample.push_back(static_cast<double>((i * 37) % 997) / 7.0);
+  }
+  const double q[3] = {0.5, 0.99, 0.999};
+  std::vector<std::array<double, 3>> per_thread_count;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const auto results = support::parallel_sweep(
+        3,
+        [&](std::size_t i) { return percentile(sample, q[i]); },
+        threads);
+    per_thread_count.push_back({results[0], results[1], results[2]});
+  }
+  for (std::size_t i = 1; i < per_thread_count.size(); ++i) {
+    EXPECT_EQ(per_thread_count[i], per_thread_count[0]);
+  }
+  // p999 of 1000 samples is the 999th order statistic, an actual sample.
+  EXPECT_EQ(per_thread_count[0][2], percentile(sample, 0.999));
 }
 
 // Property sweep: the exact hypergeometric tail must always lie below the
