@@ -24,6 +24,7 @@ struct Row {
   double latency = 0;
   double wall_ms = 0;
   std::uint64_t payload_bytes = 0;
+  std::vector<net::Counter> phases;
 };
 
 protocol::Params params_for(std::uint32_t m, double cross_fraction,
@@ -63,6 +64,7 @@ Row measure(std::uint32_t m, double cross_fraction, std::uint64_t seed) {
   }
   row.wall_ms = probe.wall_ms();
   row.payload_bytes = probe.payload_bytes();
+  row.phases = bench::phase_totals(report);
   return row;
 }
 
@@ -78,6 +80,7 @@ void json_rows(support::JsonWriter& json, const std::vector<Row>& rows) {
     json.field("latency", row.latency);
     json.field("wall_ms", row.wall_ms);
     json.field("payload_bytes", row.payload_bytes);
+    bench::write_phase_breakdown(json, row.phases);
     json.end_object();
   }
   json.end_array();

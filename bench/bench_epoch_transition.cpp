@@ -29,6 +29,7 @@ struct Row {
   double transition_ms = 0;     ///< boundary cost (the measured quantity)
   double wall_ms = 0;           ///< whole two-epoch run
   std::uint64_t payload_bytes = 0;
+  std::vector<net::Counter> phases;
 };
 
 constexpr std::uint64_t kSweepSeed = 17;
@@ -58,7 +59,10 @@ Row measure(std::uint32_t m, std::uint32_t c) {
 
   bench::PointProbe probe;
   epoch::EpochManager manager(params, protocol::AdversaryConfig{}, config);
-  while (!manager.finished()) manager.run_round();
+  std::vector<net::Counter> phases;
+  while (!manager.finished()) {
+    bench::add_phase_totals(phases, manager.run_round());
+  }
 
   Row row;
   row.m = m;
@@ -73,6 +77,7 @@ Row measure(std::uint32_t m, std::uint32_t c) {
   row.transition_ms = manager.transition_wall_ms().front();
   row.wall_ms = probe.wall_ms();
   row.payload_bytes = probe.payload_bytes();
+  row.phases = std::move(phases);
   return row;
 }
 
@@ -91,6 +96,7 @@ void json_rows(support::JsonWriter& json, const std::vector<Row>& rows) {
     json.field("transition_ms", row.transition_ms);
     json.field("wall_ms", row.wall_ms);
     json.field("payload_bytes", row.payload_bytes);
+    bench::write_phase_breakdown(json, row.phases);
     json.end_object();
   }
   json.end_array();

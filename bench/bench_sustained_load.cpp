@@ -74,6 +74,7 @@ struct Point {
   std::uint64_t source_shortfall = 0;
   std::size_t latency_samples = 0;
   std::vector<std::size_t> final_occupancy;
+  std::vector<net::Counter> phases;
   double wall_ms = 0;  ///< stdout only, never serialized
 };
 
@@ -119,6 +120,7 @@ Point measure(double load_factor) {
   p.utilization = p.offered_per_round > 0.0
                       ? p.goodput_per_round / p.offered_per_round
                       : 0.0;
+  p.phases = bench::phase_totals(report);
   p.wall_ms = probe.wall_ms();
   return p;
 }
@@ -214,6 +216,7 @@ int main(int argc, char** argv) {
       json.value(static_cast<std::uint64_t>(occ));
     }
     json.end_array();
+    bench::write_phase_breakdown(json, p.phases);
     json.end_object();
   }
   json.end_array();

@@ -28,6 +28,7 @@ struct Sample {
   std::map<Role, std::vector<double>> bytes;  // per phase, per node of role
   double wall_ms = 0;
   std::uint64_t payload_bytes = 0;
+  std::vector<net::Counter> phases;
 };
 
 Sample measure(const Sweep& sweep) {
@@ -64,6 +65,7 @@ Sample measure(const Sweep& sweep) {
   }
   sample.wall_ms = probe.wall_ms();
   sample.payload_bytes = probe.payload_bytes();
+  sample.phases = bench::phase_totals(report);
   return sample;
 }
 
@@ -182,6 +184,7 @@ int main(int argc, char** argv) {
     json.field("n", samples[i].n);
     json.field("wall_ms", samples[i].wall_ms);
     json.field("payload_bytes", samples[i].payload_bytes);
+    bench::write_phase_breakdown(json, samples[i].phases);
     json.end_object();
   }
   json.end_array();

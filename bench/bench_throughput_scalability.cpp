@@ -29,6 +29,7 @@ struct Point {
   double wall_ms = 0;
   std::uint64_t payload_allocs = 0;
   std::uint64_t payload_bytes = 0;
+  std::vector<net::Counter> phases;
 };
 
 protocol::Params params_for(std::uint32_t m) {
@@ -67,6 +68,7 @@ Point measure(std::uint32_t m) {
   p.n = static_cast<double>(params.total_nodes());
   p.msgs_per_node =
       static_cast<double>(report.rounds.back().traffic_total.msgs_sent) / p.n;
+  p.phases = bench::phase_totals(report);
   return p;
 }
 
@@ -129,6 +131,7 @@ int main(int argc, char** argv) {
     json.field("wall_ms", p.wall_ms);
     json.field("payload_allocs", p.payload_allocs);
     json.field("payload_bytes", p.payload_bytes);
+    bench::write_phase_breakdown(json, p.phases);
     json.end_object();
   }
   json.end_array();

@@ -16,8 +16,11 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "net/message.hpp"
+#include "net/stats.hpp"
+#include "protocol/report.hpp"
 #include "support/json.hpp"
 
 namespace cyc::bench {
@@ -49,6 +52,54 @@ class PointProbe {
   std::uint64_t allocs0_;
   std::uint64_t bytes0_;
 };
+
+/// Accumulate one round's per-phase traffic, summed over roles (every
+/// node holds exactly one role per round, so the role sum covers each
+/// node once). `totals` is indexed by net::Phase.
+inline void add_phase_totals(std::vector<net::Counter>& totals,
+                             const protocol::RoundReport& round) {
+  totals.resize(static_cast<std::size_t>(net::Phase::kCount));
+  for (const auto& [role, per_phase] : round.traffic_by_role_phase) {
+    const std::size_t n =
+        per_phase.size() < totals.size() ? per_phase.size() : totals.size();
+    for (std::size_t p = 0; p < n; ++p) totals[p] += per_phase[p];
+  }
+}
+
+/// Per-phase traffic totals of one round / a whole run.
+inline std::vector<net::Counter> phase_totals(
+    const protocol::RoundReport& round) {
+  std::vector<net::Counter> totals;
+  add_phase_totals(totals, round);
+  return totals;
+}
+inline std::vector<net::Counter> phase_totals(
+    const protocol::RunReport& report) {
+  std::vector<net::Counter> totals;
+  for (const auto& round : report.rounds) add_phase_totals(totals, round);
+  return totals;
+}
+
+/// Emit the "phases" breakdown section: one object per phase that saw
+/// traffic. Deterministic integers only — no wall-clock or allocation
+/// fields — so artifacts carrying it stay byte-comparable across runs.
+inline void write_phase_breakdown(support::JsonWriter& json,
+                                  const std::vector<net::Counter>& totals) {
+  json.key("phases");
+  json.begin_array();
+  for (std::size_t p = 0; p < totals.size(); ++p) {
+    const net::Counter& c = totals[p];
+    if (c.msgs_sent == 0 && c.msgs_recv == 0) continue;
+    json.begin_object();
+    json.field("phase", std::string(net::phase_name(static_cast<net::Phase>(p))));
+    json.field("msgs_sent", c.msgs_sent);
+    json.field("bytes_sent", c.bytes_sent);
+    json.field("msgs_recv", c.msgs_recv);
+    json.field("bytes_recv", c.bytes_recv);
+    json.end_object();
+  }
+  json.end_array();
+}
 
 /// Write the artifact. `name` is the bench name without the BENCH_ prefix
 /// (e.g. "throughput_scalability"); argv[1], when present, overrides the

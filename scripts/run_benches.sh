@@ -27,6 +27,23 @@ for name in throughput_scalability crossshard table2_complexity epoch_transition
   cp "bench/out/BENCH_${name}.json" "BENCH_${name}.json"
 done
 
+echo "=== per-phase breakdown sections (deterministic integers only) ==="
+# The "phases" arrays must carry protocol counters only — a wall-clock
+# or allocation field there would break byte-comparability of the
+# artifacts that are double-run compared.
+for name in throughput_scalability crossshard table2_complexity epoch_transition sustained_load; do
+  artifact="bench/out/BENCH_${name}.json"
+  if ! grep -q '"phases":\[' "$artifact"; then
+    echo "error: ${artifact} carries no per-phase breakdown" >&2
+    exit 1
+  fi
+  if grep -o '"phases":\[[^]]*\]' "$artifact" | grep -E 'wall|alloc|payload'; then
+    echo "error: non-deterministic field inside a phases section of ${artifact}" >&2
+    exit 1
+  fi
+done
+echo "phase breakdowns present, wall-clock free"
+
 echo "=== bench_sustained_load (double-run byte-compare) ==="
 "$BUILD_DIR/bench_sustained_load" "bench/out/BENCH_sustained_load.rerun.json" \
   > /dev/null

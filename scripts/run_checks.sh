@@ -32,6 +32,25 @@ echo "=== scenario matrix (sanitized) ==="
 "$BUILD_DIR/scenario_runner" --out "$BUILD_DIR/SCENARIOS.asan.json"
 
 echo
+echo "=== traced scenario matrix (determinism byte-compare) ==="
+# Traces record simulated time only, so both the per-point trace files
+# and the matrix artifact must be byte-identical across runs AND thread
+# counts — and tracing must not perturb the untraced artifact either.
+rm -rf "$BUILD_DIR/traces-a" "$BUILD_DIR/traces-b"
+"$BUILD_DIR/scenario_runner" --trace "$BUILD_DIR/traces-a" --threads 1 \
+  --out "$BUILD_DIR/SCENARIOS.traced-a.json"
+"$BUILD_DIR/scenario_runner" --trace "$BUILD_DIR/traces-b" --threads 4 \
+  --out "$BUILD_DIR/SCENARIOS.traced-b.json"
+cmp "$BUILD_DIR/SCENARIOS.traced-a.json" "$BUILD_DIR/SCENARIOS.traced-b.json"
+diff -r "$BUILD_DIR/traces-a" "$BUILD_DIR/traces-b"
+cmp "$BUILD_DIR/SCENARIOS.asan.json" "$BUILD_DIR/SCENARIOS.traced-a.json"
+if grep -l wall_us "$BUILD_DIR"/traces-a/*.trace.json; then
+  echo "error: wall-clock args leaked into default traces" >&2
+  exit 1
+fi
+echo "traced matrix: byte-identical across thread counts, inert vs untraced"
+
+echo
 echo "=== regression corpus replay (sanitized) ==="
 # Checked-in fault-schedule specs (and promoted shrunk fuzzer repros):
 # every one must replay green through the full invariant suite.

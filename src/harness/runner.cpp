@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include "crypto/schnorr.hpp"
 #include "epoch/manager.hpp"
 #include "support/parallel.hpp"
 
@@ -75,6 +76,7 @@ void accumulate(ScenarioOutcome& outcome,
   outcome.recoveries += report.recoveries;
   outcome.invalid_committed += report.invalid_committed;
   outcome.total_fees += report.total_fees;
+  outcome.faults += report.faults;
 }
 
 std::string digest_hex(const crypto::Digest& d) {
@@ -83,9 +85,29 @@ std::string digest_hex(const crypto::Digest& d) {
 
 }  // namespace
 
-ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+std::string trace_file_name(const std::string& scenario, std::uint64_t seed) {
+  std::string name;
+  name.reserve(scenario.size());
+  for (char c : scenario) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    name.push_back(keep ? c : '-');
+  }
+  return name + "-s" + std::to_string(seed) + ".trace.json";
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
+                             obs::Observer* observer) {
   protocol::Params params = spec.params;
   params.seed = seed;
+
+  if (observer != nullptr) {
+    // The verify cache is thread-local and shared by every job a worker
+    // runs; clearing it here pins the per-run hit/miss deltas to the run
+    // itself, independent of job-to-thread placement.
+    crypto::verify_cache::clear();
+  }
 
   ScenarioOutcome outcome;
   outcome.scenario = spec.name;
@@ -96,6 +118,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
     // Single-epoch path: a bare Engine, bit-for-bit the pre-epoch
     // harness behaviour.
     protocol::Engine engine(params, spec.adversary, spec.options);
+    engine.attach_observer(observer);
     InvariantChecker checker(engine);
     outcome.rounds = spec.rounds;
     for (std::uint64_t r = 1; r <= spec.rounds; ++r) {
@@ -118,6 +141,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
   config.rounds_per_epoch = spec.rounds;
   config.churn_rate = spec.churn_rate;
   epoch::EpochManager manager(params, spec.adversary, config, spec.options);
+  manager.engine().attach_observer(observer);
   InvariantChecker checker(manager.engine());
   outcome.rounds = manager.total_rounds();
 
@@ -148,7 +172,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
 }
 
 MatrixResult run_matrix(const std::vector<ScenarioSpec>& scenarios,
-                        unsigned threads) {
+                        unsigned threads, const TraceOptions* trace) {
   // Flatten (scenario, seed) into one job list so the pool load-balances
   // across both axes; parallel_sweep returns results in index order, so
   // the matrix outcome is independent of scheduling.
@@ -164,7 +188,22 @@ MatrixResult run_matrix(const std::vector<ScenarioSpec>& scenarios,
   MatrixResult result;
   result.outcomes = support::parallel_sweep(
       jobs.size(),
-      [&](std::size_t i) { return run_scenario(*jobs[i].spec, jobs[i].seed); },
+      [&](std::size_t i) {
+        if (trace == nullptr) {
+          return run_scenario(*jobs[i].spec, jobs[i].seed);
+        }
+        // One observer and one file per point: the artifact set does not
+        // depend on which worker ran which job.
+        obs::Observer observer(trace->capacity);
+        if (trace->wall_clock) observer.trace.enable_wall_clock();
+        ScenarioOutcome outcome =
+            run_scenario(*jobs[i].spec, jobs[i].seed, &observer);
+        obs::write_trace_file(
+            trace->dir + "/" +
+                trace_file_name(jobs[i].spec->name, jobs[i].seed),
+            observer);
+        return outcome;
+      },
       threads);
   return result;
 }
@@ -198,6 +237,24 @@ std::string matrix_json(const std::vector<ScenarioSpec>& scenarios,
     json.field("carryover", o.carryover);
     json.field("chain_height", o.chain_height);
     json.field("total_fees", o.total_fees);
+    if (o.faults.injected() != 0) {
+      // Omit-when-zero: fault-free points keep their exact pre-fault
+      // artifact bytes.
+      json.key("faults");
+      json.begin_object();
+      if (o.faults.partition_dropped != 0) {
+        json.field("partition_dropped", o.faults.partition_dropped);
+      }
+      if (o.faults.blackout_dropped != 0) {
+        json.field("blackout_dropped", o.faults.blackout_dropped);
+      }
+      if (o.faults.lost != 0) json.field("lost", o.faults.lost);
+      if (o.faults.duplicated != 0) {
+        json.field("duplicated", o.faults.duplicated);
+      }
+      if (o.faults.reordered != 0) json.field("reordered", o.faults.reordered);
+      json.end_object();
+    }
     json.field("epochs", o.epochs);
     json.field("boundaries", o.boundaries);
     json.field("members_joined", o.members_joined);

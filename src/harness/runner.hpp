@@ -15,8 +15,26 @@
 
 #include "harness/invariants.hpp"
 #include "harness/scenario.hpp"
+#include "net/stats.hpp"
+#include "obs/observer.hpp"
 
 namespace cyc::harness {
+
+/// Per-point trace emission (src/obs/). When given to run_matrix, every
+/// (scenario, seed) job records a simulated-time trace + metrics registry
+/// and writes `<dir>/<sanitized-scenario>-s<seed>.trace.json`. Traces are
+/// pure functions of (spec, seed): byte-identical across runs and thread
+/// counts — unless `wall_clock` is set, which attaches real elapsed time
+/// for profiling and must stay off determinism-compared paths.
+struct TraceOptions {
+  std::string dir;
+  bool wall_clock = false;
+  std::size_t capacity = obs::Tracer::kDefaultCapacity;
+};
+
+/// File name (no directory) a traced point is written under; scenario
+/// names are sanitized to [A-Za-z0-9._-].
+std::string trace_file_name(const std::string& scenario, std::uint64_t seed);
 
 struct ScenarioOutcome {
   std::string scenario;
@@ -36,6 +54,10 @@ struct ScenarioOutcome {
   std::uint64_t members_joined = 0;     ///< identities admitted via PoW
   std::uint64_t members_retired = 0;
   std::string last_handoff_digest;      ///< hex, audit anchor ("" if none)
+  /// Injected network faults, summed over every round of the run. All
+  /// zero on fault-free points (and then omitted from the artifact, so
+  /// fault-free artifacts are unchanged).
+  net::FaultStats faults;
   std::vector<Violation> violations;
 };
 
@@ -51,13 +73,19 @@ struct MatrixResult {
 };
 
 /// Run one (scenario, seed) point: fresh Engine, events applied at their
-/// rounds, invariants checked after every round.
-ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed);
+/// rounds, invariants checked after every round. With `observer`, the
+/// engine records spans/metrics into it (the thread-local verify cache is
+/// cleared first so cache-hit metrics are thread-placement invariant).
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
+                             obs::Observer* observer = nullptr);
 
 /// Run every (scenario, seed) point of the matrix concurrently; results
-/// are collected in matrix order regardless of scheduling.
+/// are collected in matrix order regardless of scheduling. With `trace`,
+/// each point additionally writes its own trace file into `trace->dir`
+/// (per-point files, so the artifact set is thread-count independent).
 MatrixResult run_matrix(const std::vector<ScenarioSpec>& scenarios,
-                        unsigned threads = 0);
+                        unsigned threads = 0,
+                        const TraceOptions* trace = nullptr);
 
 /// Deterministic JSON artifact (specs echoed + outcomes + verdicts).
 std::string matrix_json(const std::vector<ScenarioSpec>& scenarios,

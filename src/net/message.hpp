@@ -64,6 +64,10 @@ enum class Tag : std::uint16_t {
   kCatchUpReply,    // referee's signed state snapshot digest + payload
 };
 
+/// Number of message classes (for per-tag counter arrays).
+inline constexpr std::size_t kTagCount =
+    static_cast<std::size_t>(Tag::kCatchUpReply) + 1;
+
 std::string_view tag_name(Tag tag);
 
 /// Shared, immutable payload buffer. A logical broadcast materialises its

@@ -56,6 +56,10 @@ void SimNet::send_shared(NodeId from, NodeId to, Tag tag, PayloadPtr payload) {
     // No channel at all: the injector is never consulted (nothing to
     // fault), so its stream stays untouched.
     ++dropped_;
+    if (send_probe_) {
+      send_probe_({from, to, tag, phase_, msg.wire_size(), cls,
+                   FaultInjector::Fault::kNone, false, false, false});
+    }
     return;
   }
   FaultInjector::Verdict verdict;
@@ -63,8 +67,16 @@ void SimNet::send_shared(NodeId from, NodeId to, Tag tag, PayloadPtr payload) {
     verdict = injector_->on_send(from, to, cls, stats_.faults());
     if (!verdict.deliver) {
       ++dropped_;
+      if (send_probe_) {
+        send_probe_({from, to, tag, phase_, msg.wire_size(), cls,
+                     verdict.fault, false, false, false});
+      }
       return;
     }
+  }
+  if (send_probe_) {
+    send_probe_({from, to, tag, phase_, msg.wire_size(), cls, verdict.fault,
+                 verdict.duplicate, verdict.reordered, true});
   }
   const Time delay = class_delay(cls) * verdict.delay_scale;
   Event ev;
@@ -123,6 +135,10 @@ Time SimNet::run(Time deadline) {
       continue;
     }
     stats_.note_recv(ev.msg.to, ev.send_phase, ev.msg.wire_size());
+    if (deliver_probe_) {
+      deliver_probe_({ev.msg.from, ev.msg.to, ev.msg.tag, ev.send_phase,
+                      ev.msg.wire_size()});
+    }
     if (handlers_[ev.msg.to]) {
       handlers_[ev.msg.to](ev.msg, now_);
     }

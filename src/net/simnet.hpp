@@ -47,6 +47,31 @@ using LinkClassifier = std::function<LinkClass(NodeId from, NodeId to)>;
 /// Receiver callback; invoked at delivery time.
 using Handler = std::function<void(const Message&, Time now)>;
 
+/// Observability probes (src/obs/). Pure pass-through: installing a
+/// probe consumes no randomness and changes no delivery decision, so a
+/// probed run is byte-identical to an unprobed one.
+struct SendInfo {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Tag tag = Tag::kConfig;
+  Phase phase = Phase::kIdle;
+  std::size_t bytes = 0;  ///< wire size (payload + header)
+  LinkClass link;
+  FaultInjector::Fault fault = FaultInjector::Fault::kNone;
+  bool duplicated = false;
+  bool reordered = false;
+  bool delivered = true;  ///< false: no channel, or dropped by a fault
+};
+struct DeliverInfo {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Tag tag = Tag::kConfig;
+  Phase phase = Phase::kIdle;  ///< phase active when the message was *sent*
+  std::size_t bytes = 0;
+};
+using SendProbe = std::function<void(const SendInfo&)>;
+using DeliverProbe = std::function<void(const DeliverInfo&)>;
+
 class SimNet {
  public:
   SimNet(std::size_t node_count, DelayModel delays, rng::Stream rng);
@@ -81,6 +106,12 @@ class SimNet {
   /// Label subsequent traffic with a protocol phase for accounting.
   void set_phase(Phase phase) { phase_ = phase; }
   Phase phase() const { return phase_; }
+
+  /// Install / clear observability probes (empty function clears).
+  void set_send_probe(SendProbe probe) { send_probe_ = std::move(probe); }
+  void set_deliver_probe(DeliverProbe probe) {
+    deliver_probe_ = std::move(probe);
+  }
 
   /// Queue a message for delivery. Drops (and counts) sends over
   /// kUnconnected links — the hierarchical topology simply has no channel
@@ -140,6 +171,8 @@ class SimNet {
   DelayModel delays_;
   rng::Stream rng_;
   LinkClassifier classifier_;
+  SendProbe send_probe_;
+  DeliverProbe deliver_probe_;
   std::optional<FaultInjector> injector_;
   std::vector<Handler> handlers_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;

@@ -63,6 +63,14 @@ struct FaultStats {
   std::uint64_t injected() const {
     return dropped() + duplicated + reordered;
   }
+  FaultStats& operator+=(const FaultStats& o) {
+    partition_dropped += o.partition_dropped;
+    blackout_dropped += o.blackout_dropped;
+    lost += o.lost;
+    duplicated += o.duplicated;
+    reordered += o.reordered;
+    return *this;
+  }
   bool operator==(const FaultStats&) const = default;
 };
 

@@ -1,0 +1,72 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+
+namespace cyc::obs {
+
+void MetricHistogram::record(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+double MetricHistogram::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double MetricHistogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double MetricHistogram::percentile(double q) const {
+  return math::percentile(samples_, q);
+}
+
+const MetricCounter* Registry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const MetricGauge* Registry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const MetricHistogram* Registry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::to_json(support::JsonWriter& json) const {
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, c] : counters_) json.field(name, c.value());
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, g] : gauges_) json.field(name, g.value());
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    json.key(name);
+    json.begin_object();
+    json.field("count", static_cast<std::uint64_t>(h.count()));
+    json.field("sum", h.sum());
+    json.field("min", h.min());
+    json.field("max", h.max());
+    json.field("p50", h.percentile(0.50));
+    json.field("p95", h.percentile(0.95));
+    json.field("p99", h.percentile(0.99));
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace cyc::obs

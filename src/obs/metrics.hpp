@@ -1,0 +1,92 @@
+// Deterministic metrics registry: counters, gauges and histograms.
+//
+// Names are free-form dotted strings ("net.sent.intra.VOTE.msgs");
+// storage is a std::map per kind so JSON export is sorted and
+// byte-stable. Histograms keep raw samples and summarize through
+// math::percentile (nearest-rank), the same reduction every bench
+// artifact already uses — no new statistics idiom to audit.
+//
+// The registry is engine-local (one per attached Observer), never
+// shared across threads; sweep workers each own their engine's
+// registry, matching the one-engine-per-thread simulator contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace cyc::obs {
+
+class MetricCounter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class MetricGauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricHistogram {
+ public:
+  void record(double sample);
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  /// Nearest-rank percentile over all recorded samples (math::percentile).
+  double percentile(double q) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+class Registry {
+ public:
+  MetricCounter& counter(const std::string& name) { return counters_[name]; }
+  MetricGauge& gauge(const std::string& name) { return gauges_[name]; }
+  MetricHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Lookup without creating; nullptr when absent.
+  const MetricCounter* find_counter(const std::string& name) const;
+  const MetricGauge* find_gauge(const std::string& name) const;
+  const MetricHistogram* find_histogram(const std::string& name) const;
+
+  const std::map<std::string, MetricCounter>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, MetricGauge>& gauges() const { return gauges_; }
+  const std::map<std::string, MetricHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Emit {"counters":{...},"gauges":{...},"histograms":{...}} — sorted
+  /// by name; histograms summarized as count/sum/min/max/p50/p95/p99.
+  void to_json(support::JsonWriter& json) const;
+
+ private:
+  std::map<std::string, MetricCounter> counters_;
+  std::map<std::string, MetricGauge> gauges_;
+  std::map<std::string, MetricHistogram> histograms_;
+};
+
+}  // namespace cyc::obs

@@ -1,0 +1,31 @@
+#include "obs/observer.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cyc::obs {
+
+std::string Observer::export_json() const {
+  return trace.to_chrome_json([this](support::JsonWriter& json) {
+    json.key("metrics");
+    metrics.to_json(json);
+  });
+}
+
+void write_trace_file(const std::string& path, const Observer& observer) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("obs: cannot open trace file '" + path +
+                             "': " + std::strerror(errno));
+  }
+  const std::string doc = observer.export_json();
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.put('\n');
+  if (!out) {
+    throw std::runtime_error("obs: short write to trace file '" + path + "'");
+  }
+}
+
+}  // namespace cyc::obs

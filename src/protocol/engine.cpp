@@ -3,6 +3,7 @@
 #include "protocol/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
@@ -10,10 +11,48 @@
 #include "crypto/merkle.hpp"
 #include "crypto/pow.hpp"
 #include "crypto/pvss.hpp"
+#include "crypto/schnorr.hpp"
+#include "obs/observer.hpp"
 #include "protocol/payloads.hpp"
 #include "support/serde.hpp"
 
 namespace cyc::protocol {
+
+/// Per-round observability accumulators (live only while an Observer is
+/// attached). The SimNet probes fill the per-(send phase, tag) cells;
+/// obs_phase() diffs the running totals at phase boundaries so each
+/// phase span carries exactly the traffic sent inside it.
+struct Engine::ObsState {
+  struct Cell {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+  static constexpr std::size_t kPhases =
+      static_cast<std::size_t>(net::Phase::kCount);
+
+  std::array<std::array<Cell, net::kTagCount>, kPhases> sent{};
+  std::array<std::array<Cell, net::kTagCount>, kPhases> recv{};
+  Cell sent_total;
+  Cell recv_total;
+  Cell phase_sent_mark;  // totals at the open phase's begin
+  Cell phase_recv_mark;
+  net::Phase open_phase = net::Phase::kIdle;
+  double open_phase_at = 0.0;
+  /// Closed phase windows of the current round, in schedule order; the
+  /// committee tracks replay them with per-committee traffic attached.
+  struct PhaseWindow {
+    net::Phase phase;
+    double begin;
+    double end;
+  };
+  std::vector<PhaseWindow> windows;
+  /// Certs already announced this round (every holder runs on_cert; the
+  /// qc-formed instant fires once, at formation time).
+  std::set<std::pair<std::uint32_t, std::uint64_t>> certs_seen;
+  /// Thread-local verify-cache counters last flushed into the registry.
+  std::uint64_t vc_hits_mark = 0;
+  std::uint64_t vc_misses_mark = 0;
+};
 
 Engine::Engine(Params params, AdversaryConfig adversary, EngineOptions options)
     : params_(params),
@@ -81,6 +120,245 @@ Engine::Engine(Params params, AdversaryConfig adversary, EngineOptions options)
 }
 
 Engine::~Engine() = default;
+
+void Engine::attach_observer(obs::Observer* observer) {
+  obs_ = observer;
+  if (observer == nullptr) {
+    obs_state_.reset();
+    net_->set_send_probe({});
+    net_->set_deliver_probe({});
+    return;
+  }
+  obs_state_ = std::make_unique<ObsState>();
+  obs_state_->vc_hits_mark = crypto::verify_cache::hits();
+  obs_state_->vc_misses_mark = crypto::verify_cache::misses();
+
+  obs::Tracer& trace = observer->trace;
+  trace.set_track_name(obs::kTrackProtocol, "protocol");
+  trace.set_track_name(obs::kTrackNet, "net");
+  if (open_loop()) trace.set_track_name(obs::kTrackMempool, "mempool");
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    trace.set_track_name(obs::kTrackCommitteeBase + k,
+                         "committee " + std::to_string(k));
+  }
+
+  // The probes only accumulate into engine-local cells / the registry —
+  // no randomness, no protocol state — so a probed run stays
+  // byte-identical to an unprobed one.
+  net_->set_send_probe([this](const net::SendInfo& info) {
+    ObsState& st = *obs_state_;
+    ObsState::Cell& cell = st.sent[static_cast<std::size_t>(info.phase)]
+                                  [static_cast<std::size_t>(info.tag)];
+    cell.msgs += 1;
+    cell.bytes += info.bytes;
+    st.sent_total.msgs += 1;
+    st.sent_total.bytes += info.bytes;
+    obs::Registry& m = obs_->metrics;
+    switch (info.fault) {
+      case net::FaultInjector::Fault::kPartition:
+        m.counter("net.fault.partition_dropped").add();
+        break;
+      case net::FaultInjector::Fault::kBlackout:
+        m.counter("net.fault.blackout_dropped").add();
+        break;
+      case net::FaultInjector::Fault::kLoss:
+        m.counter("net.fault.lost").add();
+        break;
+      case net::FaultInjector::Fault::kNone:
+        break;
+    }
+    if (info.duplicated) m.counter("net.fault.duplicated").add();
+    if (info.reordered) m.counter("net.fault.reordered").add();
+    if (!info.delivered && info.link == net::LinkClass::kUnconnected) {
+      m.counter("net.unconnected_drops").add();
+    }
+  });
+  net_->set_deliver_probe([this](const net::DeliverInfo& info) {
+    ObsState& st = *obs_state_;
+    ObsState::Cell& cell = st.recv[static_cast<std::size_t>(info.phase)]
+                                  [static_cast<std::size_t>(info.tag)];
+    cell.msgs += 1;
+    cell.bytes += info.bytes;
+    st.recv_total.msgs += 1;
+    st.recv_total.bytes += info.bytes;
+  });
+}
+
+void Engine::obs_round_begin() {
+  if (obs_ == nullptr) return;
+  ObsState& st = *obs_state_;
+  for (auto& per_tag : st.sent) per_tag.fill({});
+  for (auto& per_tag : st.recv) per_tag.fill({});
+  st.sent_total = {};
+  st.recv_total = {};
+  st.phase_sent_mark = {};
+  st.phase_recv_mark = {};
+  st.open_phase = net::Phase::kIdle;
+  st.open_phase_at = round_start_;
+  st.windows.clear();
+  st.certs_seen.clear();
+
+  obs::Tracer& trace = obs_->trace;
+  trace.begin(obs::kTrackProtocol, "round " + std::to_string(round_), "round",
+              round_start_);
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    if (severed_.size() > k && severed_[k]) {
+      trace.instant(obs::kTrackCommitteeBase + k, "severed", "fault",
+                    round_start_, {{"committee", static_cast<double>(k)}});
+    }
+  }
+  // start_round_state clears the (per-round) catch-up log and then pushes
+  // only this boundary's *failed* records — successful adoptions get
+  // their instant at the adoption site mid-round.
+  for (const CatchUpRecord& rec : catchup_log_) {
+    if (!rec.success) {
+      trace.instant(obs::kTrackProtocol, "catchup-failed", "recovery",
+                    round_start_,
+                    {{"node", static_cast<double>(rec.node)},
+                     {"attempts", static_cast<double>(rec.attempt)}});
+      obs_->metrics.counter("engine.catchup.failed").add();
+    }
+  }
+}
+
+void Engine::obs_phase(net::Phase phase, net::Time at) {
+  if (obs_ == nullptr) return;
+  ObsState& st = *obs_state_;
+  obs::Tracer& trace = obs_->trace;
+  if (st.open_phase != net::Phase::kIdle) {
+    const std::uint64_t msgs = st.sent_total.msgs - st.phase_sent_mark.msgs;
+    const std::uint64_t bytes = st.sent_total.bytes - st.phase_sent_mark.bytes;
+    const std::uint64_t recv = st.recv_total.msgs - st.phase_recv_mark.msgs;
+    trace.end(obs::kTrackProtocol, at,
+              {{"msgs_sent", static_cast<double>(msgs)},
+               {"bytes_sent", static_cast<double>(bytes)},
+               {"msgs_recv", static_cast<double>(recv)}});
+    trace.counter(obs::kTrackNet, "net traffic", at,
+                  {{"msgs_sent", static_cast<double>(st.sent_total.msgs)},
+                   {"msgs_recv", static_cast<double>(st.recv_total.msgs)}});
+    obs_->metrics
+        .histogram("phase." + std::string(net::phase_name(st.open_phase)) +
+                   ".msgs_sent")
+        .record(static_cast<double>(msgs));
+    st.windows.push_back({st.open_phase, st.open_phase_at, at});
+  }
+  st.open_phase = phase;
+  st.open_phase_at = at;
+  st.phase_sent_mark = st.sent_total;
+  st.phase_recv_mark = st.recv_total;
+  if (phase != net::Phase::kIdle) {
+    trace.begin(obs::kTrackProtocol, std::string(net::phase_name(phase)),
+                "phase", at);
+  }
+}
+
+bool Engine::obs_first_cert(std::uint32_t scope, std::uint64_t sn) {
+  return obs_state_->certs_seen.insert({scope, sn}).second;
+}
+
+void Engine::obs_round_end(const RoundReport& report, net::Time round_end) {
+  if (obs_ == nullptr) return;
+  obs_phase(net::Phase::kIdle, round_end);  // close the last phase span
+  ObsState& st = *obs_state_;
+  obs::Tracer& trace = obs_->trace;
+
+  // Committee tracks mirror the phase schedule with per-committee traffic
+  // (summed over the round's membership) attached to each phase span.
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    const std::uint32_t track = obs::kTrackCommitteeBase + k;
+    const CommitteeRoundStats& cs = report.committees[k];
+    trace.begin(track, "round " + std::to_string(round_), "round",
+                round_start_);
+    for (const auto& w : st.windows) {
+      std::uint64_t msgs = 0;
+      std::uint64_t bytes = 0;
+      for (net::NodeId id : committee_members(k)) {
+        const net::Counter& c = net_->stats().at(id, w.phase);
+        msgs += c.msgs_sent;
+        bytes += c.bytes_sent;
+      }
+      trace.begin(track, std::string(net::phase_name(w.phase)), "phase",
+                  w.begin);
+      trace.end(track, w.end,
+                {{"msgs_sent", static_cast<double>(msgs)},
+                 {"bytes_sent", static_cast<double>(bytes)}});
+    }
+    trace.end(track, round_end,
+              {{"txs_listed", static_cast<double>(cs.txs_listed)},
+               {"txs_committed", static_cast<double>(cs.txs_committed)},
+               {"recoveries", static_cast<double>(cs.recoveries)},
+               {"produced_output", cs.produced_output ? 1.0 : 0.0}});
+  }
+
+  if (open_loop()) {
+    trace.counter(obs::kTrackMempool, "mempool", round_end,
+                  {{"backlog", static_cast<double>(report.open_loop.backlog)},
+                   {"admitted", static_cast<double>(report.open_loop.admitted)},
+                   {"dropped",
+                    static_cast<double>(report.open_loop.mempool_dropped)}});
+  }
+  trace.end(obs::kTrackProtocol, round_end,
+            {{"msgs_sent", static_cast<double>(st.sent_total.msgs)},
+             {"bytes_sent", static_cast<double>(st.sent_total.bytes)},
+             {"committed", static_cast<double>(report.txs_committed)},
+             {"recoveries", static_cast<double>(report.recoveries)}});
+
+  // ---- metrics registry flush ----
+  obs::Registry& m = obs_->metrics;
+  m.counter("engine.rounds").add();
+  m.counter("engine.txs_offered").add(report.txs_offered);
+  m.counter("engine.txs_committed").add(report.txs_committed);
+  m.counter("engine.cross_committed").add(report.cross_committed);
+  m.counter("engine.recoveries").add(report.recoveries);
+  if (report.block_void) m.counter("engine.blocks_void").add();
+  m.histogram("round.sim_duration").record(report.round_latency);
+
+  const std::uint64_t hits = crypto::verify_cache::hits();
+  const std::uint64_t misses = crypto::verify_cache::misses();
+  m.counter("crypto.verify_cache.hits").add(hits - st.vc_hits_mark);
+  m.counter("crypto.verify_cache.misses").add(misses - st.vc_misses_mark);
+  st.vc_hits_mark = hits;
+  st.vc_misses_mark = misses;
+
+  for (std::size_t p = 0; p < ObsState::kPhases; ++p) {
+    const auto phase = static_cast<net::Phase>(p);
+    for (std::size_t t = 0; t < net::kTagCount; ++t) {
+      const auto tag = static_cast<net::Tag>(t);
+      const ObsState::Cell& sent = st.sent[p][t];
+      if (sent.msgs != 0) {
+        const std::string base = "net.sent." +
+                                 std::string(net::phase_name(phase)) + "." +
+                                 std::string(net::tag_name(tag));
+        m.counter(base + ".msgs").add(sent.msgs);
+        m.counter(base + ".bytes").add(sent.bytes);
+      }
+      const ObsState::Cell& recv = st.recv[p][t];
+      if (recv.msgs != 0) {
+        const std::string base = "net.recv." +
+                                 std::string(net::phase_name(phase)) + "." +
+                                 std::string(net::tag_name(tag));
+        m.counter(base + ".msgs").add(recv.msgs);
+        m.counter(base + ".bytes").add(recv.bytes);
+      }
+    }
+  }
+
+  if (open_loop()) {
+    m.counter("mempool.arrived").add(report.open_loop.arrived);
+    m.counter("mempool.admitted").add(report.open_loop.admitted);
+    m.counter("mempool.dropped").add(report.open_loop.mempool_dropped);
+    m.counter("mempool.drained").add(report.open_loop.drained);
+    m.gauge("mempool.backlog")
+        .set(static_cast<double>(report.open_loop.backlog));
+    for (std::size_t k = 0; k < report.open_loop.occupancy.size(); ++k) {
+      m.gauge("mempool.occupancy." + std::to_string(k))
+          .set(static_cast<double>(report.open_loop.occupancy[k]));
+    }
+    for (double latency : report.open_loop.latencies) {
+      m.histogram("mempool.commit_latency").record(latency);
+    }
+  }
+}
 
 void Engine::build_nodes() {
   // The universe is the active seats plus the standby pool; standby
@@ -238,7 +516,9 @@ bool Engine::referee_reachable(net::NodeId id) const {
   // node computes identically).
   std::map<std::uint64_t, std::size_t> mask_counts;
   for (net::NodeId seat : assign_.referees) {
-    if (!injector->blacked_out(seat)) {
+    // A crashed seat casts no votes: it must not pull the majority island
+    // toward wherever it happens to sit (same rule as compute_severed).
+    if (!injector->blacked_out(seat) && nodes_[seat].is_active(round_)) {
       mask_counts[injector->island_mask(seat)] += 1;
     }
   }
@@ -272,7 +552,10 @@ void Engine::compute_severed() {
     std::map<std::uint64_t, std::size_t> referee_count;
     std::map<std::uint64_t, bool> has_driver;
     for (net::NodeId id : members) {
-      if (injector->blacked_out(id)) continue;
+      // Only seats that can actually vote this round count toward an
+      // island's quorum: a crashed node parked on the majority island
+      // is connectivity on paper, not a signer.
+      if (injector->blacked_out(id) || !nodes_[id].is_active(round_)) continue;
       const std::uint64_t mask = injector->island_mask(id);
       committee_count[mask] += 1;
       if (id == info.leader ||
@@ -282,7 +565,7 @@ void Engine::compute_severed() {
       }
     }
     for (net::NodeId id : assign_.referees) {
-      if (!injector->blacked_out(id)) {
+      if (!injector->blacked_out(id) && nodes_[id].is_active(round_)) {
         referee_count[injector->island_mask(id)] += 1;
       }
     }
@@ -437,6 +720,13 @@ void Engine::reconfigure(const Reconfiguration& reconfig) {
       participants, round_, randomness_,
       [this](net::NodeId id) { return nodes_[id].reputation; },
       uniform ? &*uniform : nullptr);
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs::kTrackProtocol, "epoch-handoff", "epoch",
+                        net_->now(),
+                        {{"epoch", static_cast<double>(reconfig.epoch)},
+                         {"members", static_cast<double>(unique.size())}});
+    obs_->metrics.counter("engine.epoch_handoffs").add();
+  }
   // Ledger state (chain_, shard_state_, carryover_, workload_),
   // reputations and rewards deliberately survive untouched — that is the
   // contract the EpochHandoff audit checks.
@@ -629,6 +919,7 @@ void Engine::openloop_ingest(std::vector<ledger::Transaction>& batch) {
 RoundReport Engine::run_round() {
   start_round_state();
   round_start_ = net_->now();
+  obs_round_begin();
   const double D = params_.delays.delta;
 
   net::Time t = round_start_;
@@ -653,6 +944,7 @@ RoundReport Engine::run_round() {
   report.round = round_;
   if (next_assign_.round != round_ + 1) compute_selection();  // fallback
   finalize_round(report);
+  obs_round_end(report, net_->now());
 
   last_assign_ = assign_;  // round-start roles (recovery edits committees_)
   round_ += 1;
@@ -1002,6 +1294,12 @@ void Engine::compute_selection() {
   }
   next_assign_ = draw_assignment(participants, round_ + 1, next_randomness_,
                                  effective_rep, uniform ? &*uniform : nullptr);
+  if (obs_ != nullptr) {
+    obs_->trace.instant(
+        obs::kTrackProtocol, "leaders-selected", "selection", net_->now(),
+        {{"round", static_cast<double>(round_ + 1)},
+         {"participants", static_cast<double>(participants.size())}});
+  }
 }
 
 template <typename RepFn>

@@ -36,6 +36,10 @@
 #include "protocol/sortition.hpp"
 #include "protocol/witness.hpp"
 
+namespace cyc::obs {
+struct Observer;
+}
+
 namespace cyc::protocol {
 
 struct EngineOptions {
@@ -234,6 +238,16 @@ class Engine {
   /// membership is too small to fill the referee committee and m
   /// committees, repeats ids, or names unknown nodes.
   void reconfigure(const Reconfiguration& reconfig);
+
+  /// Attach a tracing/metrics observer (src/obs/; nullptr detaches).
+  /// All instrumentation is keyed on simulated time and engine-local
+  /// state, so a traced run's artifact is a pure function of
+  /// (params, adversary, options) — and a detached engine takes no
+  /// observability branches beyond one null check per hook, keeping
+  /// every existing artifact byte-identical. The observer must outlive
+  /// the engine (or be detached first).
+  void attach_observer(obs::Observer* observer);
+  obs::Observer* observer() const { return obs_; }
 
  private:
   // ---- per-node state ----
@@ -487,6 +501,21 @@ class Engine {
                                   rng::Stream* uniform_leaders);
   double storage_proxy(const NodeState& n) const;
 
+  // ---- observability hooks (src/obs/; all no-ops when obs_ == nullptr).
+  /// Reset per-round accumulators, open the round span, note severed
+  /// committees and failed catch-ups.
+  void obs_round_begin();
+  /// Close the open phase span (attaching its traffic as args) and open
+  /// `phase`'s; kIdle just closes. Called from every phase driver.
+  void obs_phase(net::Phase phase, net::Time at);
+  /// Close round + committee spans, emit counter samples, flush the
+  /// round's per-(phase, tag) traffic and protocol counters into the
+  /// metrics registry.
+  void obs_round_end(const RoundReport& report, net::Time round_end);
+  /// First sighting of cert (scope, sn) this round? (dedup for the
+  /// qc-formed instant event — every holder runs on_cert).
+  bool obs_first_cert(std::uint32_t scope, std::uint64_t sn);
+
   // ---- data ----
   Params params_;
   AdversaryConfig adversary_;
@@ -537,6 +566,10 @@ class Engine {
   // Per-committee: severed from quorum by an active partition/blackout
   // this round (recomputed in start_round_state, reported per round).
   std::vector<bool> severed_;
+  // Observability (src/obs/): nullptr / empty unless attach_observer ran.
+  struct ObsState;
+  obs::Observer* obs_ = nullptr;
+  std::unique_ptr<ObsState> obs_state_;
 };
 
 }  // namespace cyc::protocol

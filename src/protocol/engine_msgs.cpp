@@ -6,6 +6,7 @@
 #include "protocol/payloads.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/pow.hpp"
+#include "obs/observer.hpp"
 #include "support/serde.hpp"
 
 namespace cyc::protocol {
@@ -44,6 +45,7 @@ std::uint32_t cross_in_origin(std::uint64_t sn) {
 void Engine::phase_config(net::Time at) {
   net_->set_phase(net::Phase::kCommitteeConfig);
   current_phase_ = net::Phase::kCommitteeConfig;
+  obs_phase(net::Phase::kCommitteeConfig, at);
   // Key members seed their list S with the committee's key members
   // (addresses known from block B^{r-1}).
   for (std::uint32_t k = 0; k < params_.m; ++k) {
@@ -88,6 +90,7 @@ void Engine::phase_config(net::Time at) {
 void Engine::phase_semicommit(net::Time at) {
   net_->set_phase(net::Phase::kSemiCommit);
   current_phase_ = net::Phase::kSemiCommit;
+  obs_phase(net::Phase::kSemiCommit, at);
   for (std::uint32_t k = 0; k < params_.m; ++k) {
     NodeState& leader = nodes_[committees_[k].current_leader];
     if (!leader.is_active(round_)) continue;
@@ -102,6 +105,7 @@ void Engine::phase_semicommit(net::Time at) {
 void Engine::phase_intra(net::Time at) {
   net_->set_phase(net::Phase::kIntraConsensus);
   current_phase_ = net::Phase::kIntraConsensus;
+  obs_phase(net::Phase::kIntraConsensus, at);
   for (std::uint32_t k = 0; k < params_.m; ++k) {
     leader_start_intra(k, at);
   }
@@ -137,6 +141,7 @@ void Engine::phase_intra(net::Time at) {
 void Engine::phase_inter(net::Time at) {
   net_->set_phase(net::Phase::kInterConsensus);
   current_phase_ = net::Phase::kInterConsensus;
+  obs_phase(net::Phase::kInterConsensus, at);
   for (std::uint32_t k = 0; k < params_.m; ++k) {
     leader_start_cross(k, at);
   }
@@ -145,6 +150,7 @@ void Engine::phase_inter(net::Time at) {
 void Engine::phase_reputation(net::Time at) {
   net_->set_phase(net::Phase::kReputation);
   current_phase_ = net::Phase::kReputation;
+  obs_phase(net::Phase::kReputation, at);
   for (std::uint32_t k = 0; k < params_.m; ++k) {
     leader_send_scores(k, at);
   }
@@ -153,6 +159,7 @@ void Engine::phase_reputation(net::Time at) {
 void Engine::phase_selection(net::Time at) {
   net_->set_phase(net::Phase::kSelection);
   current_phase_ = net::Phase::kSelection;
+  obs_phase(net::Phase::kSelection, at);
   // Adopt the quorum-acked score reports before compute_selection reads
   // the effective reputations (finalize_round re-runs this for reports
   // whose quorum completed later in the round).
@@ -181,6 +188,7 @@ void Engine::phase_selection(net::Time at) {
 void Engine::phase_block(net::Time at) {
   net_->set_phase(net::Phase::kBlock);
   current_phase_ = net::Phase::kBlock;
+  obs_phase(net::Phase::kBlock, at);
   // The designated referee proposes the block content; C_R agrees via
   // Algorithm 3; on certification the block is released to everyone.
   const net::NodeId proposer = designated_referee(kSnBlock);
@@ -545,6 +553,19 @@ void Engine::on_consensus_msg(NodeState& self, const net::Message& msg,
 
 void Engine::on_cert(NodeState& self, std::uint32_t scope, std::uint64_t sn,
                      const consensus::QuorumCert& cert) {
+  // Every cert holder runs this handler; the formation instant fires only
+  // for the first holder (obs_first_cert dedups on (scope, sn)).
+  if (obs_ != nullptr && obs_first_cert(scope, sn)) {
+    const std::uint32_t track = scope < params_.m
+                                    ? obs::kTrackCommitteeBase + scope
+                                    : obs::kTrackProtocol;
+    obs_->trace.instant(track, "qc-formed", "consensus", net_->now(),
+                        {{"scope", static_cast<double>(scope)},
+                         {"sn", static_cast<double>(sn)},
+                         {"signers",
+                          static_cast<double>(cert.confirms.size())}});
+    obs_->metrics.counter("consensus.certs").add();
+  }
   if (scope == params_.m) {
     // Referee-scope instances.
     if (sn == kSnBlock) {

@@ -5,6 +5,7 @@
 
 #include "protocol/engine.hpp"
 #include "protocol/payloads.hpp"
+#include "obs/observer.hpp"
 #include "support/serde.hpp"
 
 namespace cyc::protocol {
@@ -334,6 +335,9 @@ void Engine::leader_flush_votes(NodeState& leader, bool cross) {
   // per-message verdicts land in the cache, so the valid() calls below
   // are hits.
   crypto::verify_batch(batch);
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("engine.votes.flushed").add(batch.size());
+  }
   auto& sink = cross ? leader.cross_votes : leader.votes;
   for (const auto& [voter, arrivals] : pending) {
     // Last valid arrival wins — identical to the old scheme where each
@@ -697,6 +701,13 @@ void Engine::on_catchup_reply(NodeState& self, const net::Message& msg) {
   record.success = true;
   record.adopted_digest = self.adopted_digest;
   catchup_log_.push_back(record);
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs::kTrackProtocol, "catchup-adopted", "recovery",
+                        net_->now(),
+                        {{"node", static_cast<double>(self.id)},
+                         {"confirms", static_cast<double>(record.confirms)}});
+    obs_->metrics.counter("engine.catchup.adopted").add();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -755,6 +766,14 @@ void Engine::begin_accusation(NodeState& accuser, std::uint32_t k,
     return;
   }
   accuser.accused_this_round = true;
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs::kTrackCommitteeBase + k, "accusation", "recovery",
+                        now,
+                        {{"accuser", static_cast<double>(accuser.id)},
+                         {"kind", static_cast<double>(
+                                      static_cast<std::uint8_t>(kind))}});
+    obs_->metrics.counter("engine.accusations").add();
+  }
 
   Accusation accusation;
   accusation.round = round_;
@@ -924,6 +943,12 @@ void Engine::referee_convict(NodeState& referee, const Accusation& accusation,
   if (committees_[k].leader_convicted) return;
   committees_[k].leader_convicted = true;
   convicted_leaders_.insert(committees_[k].current_leader);
+  if (obs_ != nullptr) {
+    obs_->trace.instant(
+        obs::kTrackCommitteeBase + k, "conviction", "recovery", now,
+        {{"leader", static_cast<double>(committees_[k].current_leader)}});
+    obs_->metrics.counter("engine.convictions").add();
+  }
 
   // Choose the replacement: the accusing partial-set member when
   // applicable, otherwise the first partial-set member that is not the
@@ -1005,6 +1030,12 @@ void Engine::install_new_leader(std::uint32_t k, net::NodeId new_leader,
   event.new_leader = new_leader;
   event.witness_kind = "recovery";
   recovery_log_.push_back(event);
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs::kTrackCommitteeBase + k, "new-leader", "recovery",
+                        now,
+                        {{"old", static_cast<double>(old_leader)},
+                         {"new", static_cast<double>(new_leader)}});
+  }
 
   nodes_[old_leader].role = Role::kCommon;  // evicted
   nodes_[new_leader].role = Role::kLeader;

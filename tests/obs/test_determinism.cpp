@@ -1,0 +1,104 @@
+// Trace determinism: a trace is a pure function of (spec, seed) —
+// byte-identical across repeated runs and across thread counts, and
+// attaching an observer never changes the protocol outcome.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+
+namespace cyc::harness {
+namespace {
+
+std::vector<ScenarioSpec> sub_matrix() {
+  auto scenarios = default_matrix();
+  // A slice that includes fault-fabric scenarios (the interesting case
+  // for trace content) while staying tier-1 fast.
+  scenarios.resize(8);
+  return scenarios;
+}
+
+std::map<std::string, std::string> read_dir(const std::filesystem::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    files[entry.path().filename().string()] = text.str();
+  }
+  return files;
+}
+
+TEST(TraceDeterminism, ByteIdenticalAcrossRunsAndThreadCounts) {
+  const auto scenarios = sub_matrix();
+  const auto base =
+      std::filesystem::temp_directory_path() / "cyc_trace_determinism";
+  std::filesystem::remove_all(base);
+  const auto dir_a = base / "a";
+  const auto dir_b = base / "b";
+  std::filesystem::create_directories(dir_a);
+  std::filesystem::create_directories(dir_b);
+
+  TraceOptions trace_a{dir_a.string()};
+  TraceOptions trace_b{dir_b.string()};
+  const MatrixResult run_a = run_matrix(scenarios, /*threads=*/1, &trace_a);
+  const MatrixResult run_b = run_matrix(scenarios, /*threads=*/4, &trace_b);
+
+  const auto files_a = read_dir(dir_a);
+  const auto files_b = read_dir(dir_b);
+  ASSERT_FALSE(files_a.empty());
+  ASSERT_EQ(files_a.size(), run_a.outcomes.size());
+  // Same file set, same bytes, regardless of scheduling.
+  ASSERT_EQ(files_a.size(), files_b.size());
+  for (const auto& [name, content] : files_a) {
+    auto it = files_b.find(name);
+    ASSERT_NE(it, files_b.end()) << name;
+    EXPECT_EQ(content, it->second) << name;
+  }
+  // The matrix artifact itself is also unchanged by tracing.
+  EXPECT_EQ(matrix_json(scenarios, run_a), matrix_json(scenarios, run_b));
+  std::filesystem::remove_all(base);
+}
+
+TEST(TraceDeterminism, ObserverDoesNotPerturbOutcomes) {
+  auto scenarios = default_matrix();
+  scenarios.resize(4);
+  for (const auto& spec : scenarios) {
+    for (std::uint64_t seed : spec.seeds) {
+      const ScenarioOutcome plain = run_scenario(spec, seed);
+      obs::Observer observer;
+      const ScenarioOutcome traced = run_scenario(spec, seed, &observer);
+      EXPECT_EQ(plain.committed, traced.committed) << spec.name;
+      EXPECT_EQ(plain.offered, traced.offered) << spec.name;
+      EXPECT_EQ(plain.recoveries, traced.recoveries) << spec.name;
+      EXPECT_EQ(plain.chain_height, traced.chain_height) << spec.name;
+      EXPECT_EQ(plain.violations.size(), traced.violations.size())
+          << spec.name;
+      EXPECT_GT(observer.trace.size(), 0u) << spec.name;
+    }
+  }
+}
+
+TEST(TraceDeterminism, RepeatedTracedRunsExportIdenticalJson) {
+  const auto scenarios = sub_matrix();
+  const ScenarioSpec& spec = scenarios.front();
+  auto run_once = [&] {
+    obs::Observer observer;
+    run_scenario(spec, spec.seeds.front(), &observer);
+    return observer.export_json();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Simulated-time traces never carry wall-clock fields.
+  EXPECT_EQ(first.find("wall_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyc::harness

@@ -1,0 +1,117 @@
+// Tracer + metrics registry units: ring eviction, Chrome trace_event
+// JSON shape, integral-arg export, wall-clock gating, histogram
+// percentiles, and byte-stable rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+
+namespace cyc::obs {
+namespace {
+
+TEST(Tracer, RingDropsOldestAndCounts) {
+  Tracer trace(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    trace.instant(kTrackProtocol, "ev" + std::to_string(i), "t",
+                  static_cast<double>(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  // The *tail* survives: the newest events are what a triage needs.
+  const std::string json = trace.to_chrome_json();
+  EXPECT_EQ(json.find("\"ev0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ev9\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":6"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  Tracer trace;
+  trace.set_track_name(kTrackProtocol, "protocol");
+  trace.begin(kTrackProtocol, "round 1", "round", 0.0);
+  trace.instant(kTrackProtocol, "qc-formed", "consensus", 2.5,
+                {{"scope", 3.0}});
+  trace.counter(kTrackNet, "net traffic", 4.0, {{"msgs_sent", 17.0}});
+  trace.end(kTrackProtocol, 8.0, {{"msgs_sent", 42.0}});
+
+  const std::string json = trace.to_chrome_json();
+  // Document frame.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  // Track metadata.
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"protocol\""), std::string::npos);
+  // 1 simulated Delta-unit = 1 ms -> ts in microseconds.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2500"), std::string::npos);   // instant at 2.5
+  EXPECT_NE(json.find("\"ts\":8000"), std::string::npos);   // end at 8.0
+  // Instants are thread-scoped; integral args export as JSON integers.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"scope\":3"), std::string::npos);
+  EXPECT_EQ(json.find("\"scope\":3.0"), std::string::npos);
+  EXPECT_NE(json.find("\"msgs_sent\":42"), std::string::npos);
+  // Counters carry their series as args.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"msgs_sent\":17"), std::string::npos);
+}
+
+TEST(Tracer, WallClockOffByDefaultOnWhenEnabled) {
+  Tracer plain;
+  plain.instant(kTrackProtocol, "x", "t", 1.0);
+  EXPECT_EQ(plain.to_chrome_json().find("wall_us"), std::string::npos);
+
+  Tracer walled;
+  walled.enable_wall_clock();
+  walled.instant(kTrackProtocol, "x", "t", 1.0);
+  EXPECT_NE(walled.to_chrome_json().find("wall_us"), std::string::npos);
+}
+
+TEST(Tracer, RenderingIsByteStable) {
+  auto build = [] {
+    Tracer trace;
+    trace.set_track_name(kTrackNet, "net");
+    trace.begin(kTrackProtocol, "round 1", "round", 0.0);
+    trace.end(kTrackProtocol, 3.25, {{"bytes_sent", 1234.0}});
+    return trace.to_chrome_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Metrics, CounterGaugeHistogram) {
+  Registry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("a").add();
+  reg.counter("a").add(4);
+  reg.gauge("g").set(2.5);
+  for (int i = 1; i <= 100; ++i) {
+    reg.histogram("h").record(static_cast<double>(i));
+  }
+  EXPECT_EQ(reg.counter("a").value(), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+  EXPECT_EQ(reg.histogram("h").count(), 100u);
+  EXPECT_DOUBLE_EQ(reg.histogram("h").min(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.histogram("h").max(), 100.0);
+  EXPECT_NEAR(reg.histogram("h").percentile(0.5), 50.0, 1.0);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+
+  support::JsonWriter json;
+  reg.to_json(json);
+  const std::string doc = json.str();
+  EXPECT_NE(doc.find("\"counters\":{\"a\":5}"), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\":{\"g\":2.5}"), std::string::npos);
+  EXPECT_NE(doc.find("\"h\":{\"count\":100"), std::string::npos);
+}
+
+TEST(Observer, ExportEmbedsMetrics) {
+  Observer observer;
+  observer.trace.instant(kTrackProtocol, "x", "t", 1.0);
+  observer.metrics.counter("engine.rounds").add(3);
+  const std::string doc = observer.export_json();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"engine.rounds\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyc::obs

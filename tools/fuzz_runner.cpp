@@ -3,7 +3,7 @@
 // replayable repro.
 //
 //   fuzz_runner [--seed N] [--budget N] [--out FILE] [--dir DIR]
-//               [--threads N] [--print]
+//               [--threads N] [--print] [--trace DIR]
 //
 // Samples `--budget` ScenarioSpecs (default 200) from `--seed` (default
 // 1), bounded by the §III threat model (src/fuzz/generator.hpp), and
@@ -14,6 +14,11 @@
 // `scenario_runner --spec`. The campaign artifact goes to --out
 // (default bench/out/FUZZ.json) and is a pure function of
 // (seed, budget): byte-identical across runs and thread counts.
+//
+// --trace DIR replays every *shrunk* failure repro with the src/obs/
+// tracer attached and writes one Chrome trace_event JSON file per
+// (repro, seed) into DIR — the triage view of exactly the minimal
+// failing run, loadable in Perfetto, byte-identical across runs.
 //
 // Exit status: 0 when every spec ran green, 1 on any surviving failure,
 // 2 on usage errors.
@@ -26,6 +31,7 @@
 #include <string>
 
 #include "fuzz/campaign.hpp"
+#include "harness/runner.hpp"
 
 using namespace cyc;
 
@@ -34,7 +40,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--budget N] [--out FILE] [--dir DIR] "
-               "[--threads N] [--print]\n",
+               "[--threads N] [--print] [--trace DIR]\n",
                argv0);
   return 2;
 }
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
   fuzz::CampaignOptions options;
   std::string out_path = "bench/out/FUZZ.json";
   std::string corpus_dir = "bench/out/FUZZ_failures";
+  std::string trace_dir;
   bool print_artifact = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +93,12 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--dir" && i + 1 < argc) {
       corpus_dir = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_dir = argv[++i];
+      if (trace_dir.empty()) {
+        std::fprintf(stderr, "fuzz_runner: --trace expects a directory path\n");
+        return 2;
+      }
     } else if (arg == "--print") {
       print_artifact = true;
     } else {
@@ -121,6 +134,39 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fuzz_runner: %s\n", e.what());
     return 2;
+  }
+
+  if (!trace_dir.empty() && !result.failures.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(trace_dir, ec) &&
+        !std::filesystem::is_directory(trace_dir, ec)) {
+      std::fprintf(stderr,
+                   "fuzz_runner: --trace %s exists and is not a directory\n",
+                   trace_dir.c_str());
+      return 2;
+    }
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "fuzz_runner: cannot create --trace %s: %s\n",
+                   trace_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    for (const auto& failure : result.failures) {
+      const harness::ScenarioSpec& spec = failure.shrunk.spec;
+      for (std::uint64_t seed : spec.seeds) {
+        obs::Observer observer;
+        harness::run_scenario(spec, seed, &observer);
+        const std::string path =
+            trace_dir + "/" + harness::trace_file_name(spec.name, seed);
+        try {
+          obs::write_trace_file(path, observer);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "fuzz_runner: %s\n", e.what());
+          return 2;
+        }
+        std::printf("trace: %s\n", path.c_str());
+      }
+    }
   }
 
   const std::string artifact = fuzz::campaign_json(options, result);

@@ -2,6 +2,7 @@
 // invariant on every round of every (scenario, seed) point.
 //
 //   scenario_runner [--out FILE] [--spec FILE] [--threads N] [--print]
+//                   [--trace DIR] [--trace-wall]
 //
 // With no --spec, runs the built-in bounded default matrix (3 adversary
 // mixes x 2 delay regimes x 2 cross-shard fractions x 2 capacity skews
@@ -14,6 +15,13 @@
 // --out (default bench/out/SCENARIOS.json; the directory is created if
 // missing); it is a pure function of the matrix, so repeated runs are
 // byte-identical.
+//
+// --trace DIR additionally writes one Chrome trace_event JSON file per
+// (scenario, seed) point into DIR (created if missing) — simulated-time
+// spans + metrics, loadable in Perfetto, themselves byte-identical
+// across runs and thread counts. --trace-wall (requires --trace)
+// attaches wall-clock args for profiling; such traces are excluded from
+// determinism comparisons.
 //
 // Exit status: 0 when every invariant held on every point, 1 on any
 // violation, 2 on usage / input errors.
@@ -34,7 +42,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out FILE] [--spec FILE] [--threads N] [--print]\n",
+               "usage: %s [--out FILE] [--spec FILE] [--threads N] [--print]"
+               " [--trace DIR] [--trace-wall]\n",
                argv0);
   return 2;
 }
@@ -46,6 +55,8 @@ int main(int argc, char** argv) {
   std::string spec_path;
   unsigned threads = 0;
   bool print_artifact = false;
+  std::string trace_dir;
+  bool trace_wall = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -68,6 +79,15 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(parsed);
     } else if (arg == "--print") {
       print_artifact = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_dir = argv[++i];
+      if (trace_dir.empty()) {
+        std::fprintf(stderr,
+                     "scenario_runner: --trace expects a directory path\n");
+        return 2;
+      }
+    } else if (arg == "--trace-wall") {
+      trace_wall = true;
     } else {
       return usage(argv[0]);
     }
@@ -111,7 +131,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  const harness::MatrixResult result = harness::run_matrix(scenarios, threads);
+  if (trace_wall && trace_dir.empty()) {
+    std::fprintf(stderr, "scenario_runner: --trace-wall requires --trace\n");
+    return 2;
+  }
+  harness::TraceOptions trace_options;
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(trace_dir, ec) &&
+        !std::filesystem::is_directory(trace_dir, ec)) {
+      std::fprintf(stderr,
+                   "scenario_runner: --trace %s exists and is not a "
+                   "directory\n",
+                   trace_dir.c_str());
+      return 2;
+    }
+    if (!std::filesystem::is_directory(trace_dir, ec)) {
+      std::filesystem::create_directories(trace_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "scenario_runner: cannot create --trace %s: %s\n",
+                     trace_dir.c_str(), ec.message().c_str());
+        return 2;
+      }
+    }
+    trace_options.dir = trace_dir;
+    trace_options.wall_clock = trace_wall;
+  }
+
+  const harness::MatrixResult result = harness::run_matrix(
+      scenarios, threads, trace_dir.empty() ? nullptr : &trace_options);
 
   std::printf("=== Scenario matrix: %zu scenarios, %zu points ===\n",
               scenarios.size(), result.outcomes.size());
@@ -149,6 +197,10 @@ int main(int argc, char** argv) {
     }
     out << artifact << '\n';
     std::printf("artifact: %s\n", out_path.c_str());
+  }
+  if (!trace_dir.empty()) {
+    std::printf("traces: %s (%zu files)\n", trace_dir.c_str(),
+                result.outcomes.size());
   }
 
   return result.all_green() ? 0 : 1;
