@@ -112,9 +112,10 @@ Point measure(double load_factor) {
   p.source_shortfall = last.source_shortfall;
   p.final_occupancy = last.occupancy;
   p.latency_samples = latencies.size();
-  p.p50 = math::percentile(latencies, 0.50);
-  p.p99 = math::percentile(latencies, 0.99);
-  p.p999 = math::percentile(latencies, 0.999);
+  const math::SortedSample sorted_latencies(std::move(latencies));
+  p.p50 = sorted_latencies.percentile(0.50);
+  p.p99 = sorted_latencies.percentile(0.99);
+  p.p999 = sorted_latencies.percentile(0.999);
   p.goodput_per_round =
       static_cast<double>(p.committed) / static_cast<double>(kRounds);
   p.utilization = p.offered_per_round > 0.0

@@ -31,6 +31,14 @@ struct Sample {
   std::vector<net::Counter> phases;
 };
 
+// Paper-scale configurations (m >= 32) enable intra-engine shard
+// parallelism; the historical points keep the sequential reference path
+// so their perf fields stay comparable across revisions. Protocol
+// numbers are byte-identical either way (the determinism contract
+// scripts/run_checks.sh enforces).
+constexpr std::uint32_t kParallelFrom = 32;
+constexpr unsigned kEngineThreads = 4;
+
 Sample measure(const Sweep& sweep) {
   protocol::Params params;
   params.m = sweep.m;
@@ -42,8 +50,10 @@ Sample measure(const Sweep& sweep) {
   params.invalid_fraction = 0.0;
   params.users = 16 * sweep.m;
   params.seed = 99;
+  protocol::EngineOptions options;
+  if (sweep.m >= kParallelFrom) options.engine_threads = kEngineThreads;
   bench::PointProbe probe;
-  protocol::Engine engine(params, protocol::AdversaryConfig{});
+  protocol::Engine engine(params, protocol::AdversaryConfig{}, options);
   const auto report = engine.run_round();
 
   Sample sample;
@@ -82,7 +92,8 @@ struct Cell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<Sweep> sweeps = {{2, 8}, {4, 8}, {2, 16}, {4, 16}, {6, 12}};
+  const std::vector<Sweep> sweeps = {{2, 8},  {4, 8},  {2, 16}, {4, 16},
+                                     {6, 12}, {32, 8}, {64, 8}};
   std::printf("measuring %zu configurations (parallel)...\n", sweeps.size());
   bench::PointProbe total;
   const auto samples = support::parallel_sweep(
@@ -139,25 +150,31 @@ int main(int argc, char** argv) {
                 "===\n",
                 is_bytes ? "BYTES" : "messages");
     if (!is_bytes) {
-      std::printf("config: (m,c) in {(2,8),(4,8),(2,16),(4,16),(6,12)}\n\n");
+      std::printf("config: (m,c) in {");
+      for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        std::printf("%s(%u,%u)", i > 0 ? "," : "", sweeps[i].m, sweeps[i].c);
+      }
+      std::printf("}\n\n");
     }
-    std::printf("%-18s %-16s %-52s %-10s %-10s\n", "phase", "role",
+    std::printf("%-18s %-16s %-72s %-10s %-10s\n", "phase", "role",
                 is_bytes ? "measured bytes across sweep"
                          : "measured msgs across sweep",
                 "fitted", "paper");
     for (const auto& cell : cells) {
       if (cell.is_bytes != is_bytes) continue;
-      char measured[80] = "-";
+      std::string measured = "-";
       if (!cell.measured.empty()) {
-        std::snprintf(measured, sizeof(measured),
-                      is_bytes ? "%9.0f %9.0f %9.0f %9.0f %9.0f"
-                               : "%7.1f %7.1f %7.1f %7.1f %7.1f",
-                      cell.measured[0], cell.measured[1], cell.measured[2],
-                      cell.measured[3], cell.measured[4]);
+        measured.clear();
+        char buf[32];
+        for (std::size_t i = 0; i < cell.measured.size(); ++i) {
+          std::snprintf(buf, sizeof(buf), is_bytes ? "%s%9.0f" : "%s%7.1f",
+                        i > 0 ? " " : "", cell.measured[i]);
+          measured += buf;
+        }
       }
-      std::printf("%-18s %-16s %-52s %-10s %-10s\n",
+      std::printf("%-18s %-16s %-72s %-10s %-10s\n",
                   std::string(net::phase_name(cell.phase)).c_str(),
-                  cell.role_name, measured, cell.fitted.c_str(),
+                  cell.role_name, measured.c_str(), cell.fitted.c_str(),
                   cell.expected.c_str());
     }
   };

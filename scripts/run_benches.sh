@@ -44,6 +44,22 @@ for name in throughput_scalability crossshard table2_complexity epoch_transition
 done
 echo "phase breakdowns present, wall-clock free"
 
+echo "=== paper-scale population points (m=32, m=64) ==="
+# The shard-parallel engine path exists so the complexity/scalability
+# sweeps can reach the paper's population scale; both artifacts must
+# carry the m=32 and m=64 points or the slope fits silently regress to
+# the small-m regime.
+for name in throughput_scalability table2_complexity; do
+  artifact="bench/out/BENCH_${name}.json"
+  for m in 32 64; do
+    if ! grep -q "\"m\":${m}[,}]" "$artifact"; then
+      echo "error: ${artifact} is missing the m=${m} point" >&2
+      exit 1
+    fi
+  done
+done
+echo "m=32 and m=64 present in both sweep artifacts"
+
 echo "=== bench_sustained_load (double-run byte-compare) ==="
 "$BUILD_DIR/bench_sustained_load" "bench/out/BENCH_sustained_load.rerun.json" \
   > /dev/null

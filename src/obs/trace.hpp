@@ -17,7 +17,12 @@
 //
 // The buffer is a bounded ring: when full, the *oldest* events are
 // dropped (and counted), keeping the tail of a long run — the part a
-// failure triage needs — intact.
+// failure triage needs — intact. Eviction is per *event*, not per
+// span: a span's B event can be evicted while its E survives, leaving
+// a dangling E in the Chrome JSON (viewers tolerate it; the paired B
+// is exactly what droppedEvents accounts for). Filling the ring to
+// exactly `capacity` drops nothing; droppedEvents counts evictions
+// only, never the events still buffered.
 #pragma once
 
 #include <cstdint>

@@ -107,17 +107,38 @@ double fit_slope(const std::vector<double>& x, const std::vector<double>& y) {
   return (n * sxy - sx * sy) / denom;
 }
 
-double percentile(std::vector<double> sample, double q) {
-  if (sample.empty()) return 0.0;
-  q = std::min(1.0, std::max(0.0, q));
-  std::sort(sample.begin(), sample.end());
-  // Nearest rank: ceil(q * n) in 1-based indexing, clamped to [1, n].
-  const auto n = sample.size();
+namespace {
+
+// Nearest rank: ceil(q * n) in 1-based indexing, clamped to [1, n].
+// Precondition: `sorted` is ascending and non-empty; q in [0, 1].
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  const auto n = sorted.size();
   std::size_t rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
-  return sample[rank - 1];
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+double percentile(const std::vector<double>& sample, double q) {
+  if (sample.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  return nearest_rank(sorted, q);
+}
+
+SortedSample::SortedSample(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double SortedSample::percentile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  return nearest_rank(sorted_, q);
 }
 
 }  // namespace cyc::math

@@ -60,7 +60,26 @@ double fit_slope(const std::vector<double>& x, const std::vector<double>& y);
 /// sample (no interpolation), so latency percentiles derived from
 /// deterministic simulations stay byte-stable in JSON artifacts. The
 /// input need not be sorted; q outside [0, 1] is clamped. Returns 0.0 on
-/// an empty sample.
-double percentile(std::vector<double> sample, double q);
+/// an empty sample. The sample is no longer copied per query — for
+/// multi-quantile queries over the same sample, sort once with
+/// SortedSample instead.
+double percentile(const std::vector<double>& sample, double q);
+
+/// Sort-once view for multi-quantile queries: sorts the sample a single
+/// time at construction, then answers percentile() in O(1) with the same
+/// nearest-rank semantics (and the same q-clamping / empty-sample rules)
+/// as math::percentile. Use this wherever several quantiles of one
+/// sample are reported together (p50/p95/p99 blocks in JSON artifacts).
+class SortedSample {
+ public:
+  explicit SortedSample(std::vector<double> sample);
+
+  double percentile(double q) const;
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+ private:
+  std::vector<double> sorted_;
+};
 
 }  // namespace cyc::math

@@ -56,6 +56,55 @@ TEST(Tracer, ChromeJsonShape) {
   EXPECT_NE(json.find("\"msgs_sent\":17"), std::string::npos);
 }
 
+TEST(Tracer, ExactlyCapacityDropsNothing) {
+  // Boundary pin: filling the ring to exactly its capacity must not
+  // evict — droppedEvents counts evictions only, never buffered events.
+  Tracer trace(/*capacity=*/4);
+  for (int i = 0; i < 4; ++i) {
+    trace.instant(kTrackProtocol, "ev" + std::to_string(i), "t",
+                  static_cast<double>(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"ev0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ev3\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST(Tracer, CapacityPlusOneDropsExactlyOne) {
+  Tracer trace(/*capacity=*/4);
+  for (int i = 0; i < 5; ++i) {
+    trace.instant(kTrackProtocol, "ev" + std::to_string(i), "t",
+                  static_cast<double>(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 1u);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_EQ(json.find("\"ev0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ev1\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":1"), std::string::npos);
+}
+
+TEST(Tracer, MidSpanEvictionLeavesDanglingEndAndExactCount) {
+  // A span's B event can fall off the ring while its E survives:
+  // eviction is per event, not per span. The dangling E must stay in
+  // the JSON (viewers tolerate it) and droppedEvents must account for
+  // exactly the evicted events — the B among them.
+  Tracer trace(/*capacity=*/3);
+  trace.begin(kTrackProtocol, "span", "round", 0.0);      // evicted below
+  trace.instant(kTrackProtocol, "mid1", "t", 1.0);
+  trace.instant(kTrackProtocol, "mid2", "t", 2.0);
+  trace.end(kTrackProtocol, 3.0, {{"msgs_sent", 7.0}});   // evicts the B
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 1u);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_EQ(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"msgs_sent\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":1"), std::string::npos);
+}
+
 TEST(Tracer, WallClockOffByDefaultOnWhenEnabled) {
   Tracer plain;
   plain.instant(kTrackProtocol, "x", "t", 1.0);

@@ -149,6 +149,30 @@ TEST(MathTest, PercentileEdgeCases) {
   EXPECT_EQ(percentile({1.0, 2.0}, 1.7), 2.0);
 }
 
+TEST(MathTest, SortedSampleMatchesPercentileExactly) {
+  // The sort-once multi-quantile view must agree bit-for-bit with the
+  // one-shot nearest-rank query at every q, including the pinned edges
+  // q=0 (minimum), q=1 (maximum) and out-of-range clamping.
+  const std::vector<double> s = {40.0, 15.0, 50.0, 20.0, 35.0};
+  const SortedSample sorted(s);
+  for (double q : {0.0, 0.05, 0.30, 0.40, 0.50, 0.95, 0.999, 1.0, -0.3, 1.7}) {
+    EXPECT_EQ(sorted.percentile(q), percentile(s, q)) << "q=" << q;
+  }
+  EXPECT_EQ(sorted.size(), 5u);
+  EXPECT_FALSE(sorted.empty());
+}
+
+TEST(MathTest, SortedSampleEdgeCases) {
+  const SortedSample empty(std::vector<double>{});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+  const SortedSample single(std::vector<double>{7.5});
+  EXPECT_EQ(single.percentile(0.0), 7.5);
+  EXPECT_EQ(single.percentile(0.5), 7.5);
+  EXPECT_EQ(single.percentile(1.0), 7.5);
+}
+
 TEST(MathTest, PercentileOrderInvariant) {
   const std::vector<double> sorted = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   const std::vector<double> shuffled = {7, 2, 10, 5, 1, 9, 4, 8, 3, 6};

@@ -1,0 +1,103 @@
+// Shared argument checks for the tools/ runners (scenario_runner,
+// fuzz_runner). Header-only on purpose: CMake globs every tools/*.cpp
+// into its own executable, so common helpers must not add a .cpp here.
+//
+// The helpers unify three edge paths that used to drift between the two
+// runners:
+//   - numeric flags: strtoull silently wraps "-1" to 2^64-1, so one
+//     runner accepted negative budgets while the other rejected them —
+//     parse_u64 rejects any sign prefix before parsing;
+//   - thread counts: both runners accept 0 as "auto" (hardware
+//     concurrency), checked and converted in one place;
+//   - output directories (--trace, --dir): a path that exists as a
+//     regular file is always a usage error, and the directory is
+//     validated/created up front instead of deep inside a late branch.
+//
+// Every helper prints a "<tool>: <flag> ..." diagnostic to stderr and
+// returns false on bad input; callers exit 2 (usage error).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace cyc::cli {
+
+/// Parse a non-negative decimal integer. Rejects empty strings, sign
+/// prefixes (including '+'), trailing junk and overflow.
+inline bool parse_u64(const char* tool, const char* flag, const char* text,
+                      std::uint64_t& out) {
+  const bool signless =
+      text != nullptr && *text != '\0' && *text != '-' && *text != '+';
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed =
+      signless ? std::strtoull(text, &end, 10) : 0;
+  if (!signless || end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n",
+                 tool, flag, text != nullptr ? text : "");
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+/// parse_u64 plus a nonzero check (budgets, engine thread counts).
+inline bool parse_positive_u64(const char* tool, const char* flag,
+                               const char* text, std::uint64_t& out) {
+  if (!parse_u64(tool, flag, text, out)) return false;
+  if (out == 0) {
+    std::fprintf(stderr, "%s: %s expects a positive integer, got '%s'\n",
+                 tool, flag, text);
+    return false;
+  }
+  return true;
+}
+
+/// Sweep worker count: non-negative 32-bit, with 0 meaning "auto"
+/// (hardware concurrency — see support::sweep_threads).
+inline bool parse_threads(const char* tool, const char* flag, const char* text,
+                          unsigned& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(tool, flag, text, value)) return false;
+  if (value > 0xffffffffull) {
+    std::fprintf(stderr,
+                 "%s: %s expects a non-negative 32-bit integer, got '%s'\n",
+                 tool, flag, text);
+    return false;
+  }
+  out = static_cast<unsigned>(value);
+  return true;
+}
+
+/// Validate an output directory flag up front: empty paths and paths
+/// that exist as regular files are usage errors; otherwise the
+/// directory is created if missing.
+inline bool ensure_output_dir(const char* tool, const char* flag,
+                              const std::string& dir) {
+  if (dir.empty()) {
+    std::fprintf(stderr, "%s: %s expects a directory path\n", tool, flag);
+    return false;
+  }
+  std::error_code ec;
+  if (std::filesystem::exists(dir, ec) &&
+      !std::filesystem::is_directory(dir, ec)) {
+    std::fprintf(stderr, "%s: %s %s exists and is not a directory\n", tool,
+                 flag, dir.c_str());
+    return false;
+  }
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "%s: cannot create %s %s: %s\n", tool, flag,
+                   dir.c_str(), ec.message().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cyc::cli

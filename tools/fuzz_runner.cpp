@@ -30,6 +30,7 @@
 #include <fstream>
 #include <string>
 
+#include "cli_args.hpp"
 #include "fuzz/campaign.hpp"
 #include "harness/runner.hpp"
 
@@ -37,23 +38,14 @@ using namespace cyc;
 
 namespace {
 
+constexpr const char* kTool = "fuzz_runner";
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--budget N] [--out FILE] [--dir DIR] "
                "[--threads N] [--print] [--trace DIR]\n",
                argv0);
   return 2;
-}
-
-bool parse_u64(const char* text, std::uint64_t& out) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(text, &end, 10);
-  if (end == nullptr || end == text || *end != '\0' || errno == ERANGE) {
-    return false;
-  }
-  out = parsed;
-  return true;
 }
 
 }  // namespace
@@ -69,36 +61,26 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     std::uint64_t value = 0;
     if (arg == "--seed" && i + 1 < argc) {
-      if (!parse_u64(argv[++i], value)) {
-        std::fprintf(stderr, "fuzz_runner: --seed expects an integer\n");
-        return 2;
-      }
+      if (!cli::parse_u64(kTool, "--seed", argv[++i], value)) return 2;
       options.seed = value;
     } else if (arg == "--budget" && i + 1 < argc) {
-      if (!parse_u64(argv[++i], value) || value == 0) {
-        std::fprintf(stderr,
-                     "fuzz_runner: --budget expects a positive integer\n");
+      if (!cli::parse_positive_u64(kTool, "--budget", argv[++i], value)) {
         return 2;
       }
       options.budget = static_cast<std::size_t>(value);
     } else if (arg == "--threads" && i + 1 < argc) {
-      if (!parse_u64(argv[++i], value) || value > 0xffffffffull) {
-        std::fprintf(stderr,
-                     "fuzz_runner: --threads expects a non-negative 32-bit "
-                     "integer\n");
+      unsigned threads = 0;
+      if (!cli::parse_threads(kTool, "--threads", argv[++i], threads)) {
         return 2;
       }
-      options.threads = static_cast<unsigned>(value);
+      options.threads = threads;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--dir" && i + 1 < argc) {
       corpus_dir = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_dir = argv[++i];
-      if (trace_dir.empty()) {
-        std::fprintf(stderr, "fuzz_runner: --trace expects a directory path\n");
-        return 2;
-      }
+      if (!cli::ensure_output_dir(kTool, "--trace", trace_dir)) return 2;
     } else if (arg == "--print") {
       print_artifact = true;
     } else {
@@ -137,20 +119,9 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_dir.empty() && !result.failures.empty()) {
-    std::error_code ec;
-    if (std::filesystem::exists(trace_dir, ec) &&
-        !std::filesystem::is_directory(trace_dir, ec)) {
-      std::fprintf(stderr,
-                   "fuzz_runner: --trace %s exists and is not a directory\n",
-                   trace_dir.c_str());
-      return 2;
-    }
-    std::filesystem::create_directories(trace_dir, ec);
-    if (ec) {
-      std::fprintf(stderr, "fuzz_runner: cannot create --trace %s: %s\n",
-                   trace_dir.c_str(), ec.message().c_str());
-      return 2;
-    }
+    // Directory validated and created up front by cli::ensure_output_dir
+    // — a --trace path that exists as a file now fails before the
+    // campaign runs instead of after it.
     for (const auto& failure : result.failures) {
       const harness::ScenarioSpec& spec = failure.shrunk.spec;
       for (std::uint64_t seed : spec.seeds) {

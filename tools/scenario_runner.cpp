@@ -1,8 +1,9 @@
 // scenario_runner — execute a scenario matrix and check every protocol
 // invariant on every round of every (scenario, seed) point.
 //
-//   scenario_runner [--out FILE] [--spec FILE] [--threads N] [--print]
-//                   [--trace DIR] [--trace-wall]
+//   scenario_runner [--out FILE] [--spec FILE] [--threads N]
+//                   [--engine-threads N] [--print] [--trace DIR]
+//                   [--trace-wall]
 //
 // With no --spec, runs the built-in bounded default matrix (3 adversary
 // mixes x 2 delay regimes x 2 cross-shard fractions x 2 capacity skews
@@ -15,6 +16,11 @@
 // --out (default bench/out/SCENARIOS.json; the directory is created if
 // missing); it is a pure function of the matrix, so repeated runs are
 // byte-identical.
+//
+// --engine-threads N sets the intra-engine shard-parallelism worker
+// count on every scenario's EngineOptions (default 1 = sequential
+// reference path). The knob is execution-only: artifacts are
+// byte-identical for every N, which scripts/run_checks.sh verifies.
 //
 // --trace DIR additionally writes one Chrome trace_event JSON file per
 // (scenario, seed) point into DIR (created if missing) — simulated-time
@@ -34,16 +40,20 @@
 #include <sstream>
 #include <string>
 
+#include "cli_args.hpp"
 #include "harness/runner.hpp"
 
 using namespace cyc;
 
 namespace {
 
+constexpr const char* kTool = "scenario_runner";
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out FILE] [--spec FILE] [--threads N] [--print]"
-               " [--trace DIR] [--trace-wall]\n",
+               "usage: %s [--out FILE] [--spec FILE] [--threads N]"
+               " [--engine-threads N] [--print] [--trace DIR]"
+               " [--trace-wall]\n",
                argv0);
   return 2;
 }
@@ -54,6 +64,7 @@ int main(int argc, char** argv) {
   std::string out_path = "bench/out/SCENARIOS.json";
   std::string spec_path;
   unsigned threads = 0;
+  std::uint64_t engine_threads = 1;
   bool print_artifact = false;
   std::string trace_dir;
   bool trace_wall = false;
@@ -65,27 +76,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--spec" && i + 1 < argc) {
       spec_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
-      char* end = nullptr;
-      errno = 0;
-      const long long parsed = std::strtoll(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || parsed < 0 ||
-          errno == ERANGE || parsed > 0xffffffffll) {
-        std::fprintf(stderr,
-                     "scenario_runner: --threads expects a non-negative "
-                     "32-bit integer, got '%s'\n",
-                     argv[i]);
+      if (!cli::parse_threads(kTool, "--threads", argv[++i], threads)) {
         return 2;
       }
-      threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--engine-threads" && i + 1 < argc) {
+      if (!cli::parse_positive_u64(kTool, "--engine-threads", argv[++i],
+                                   engine_threads)) {
+        return 2;
+      }
+      if (engine_threads > 0xffffffffull) {
+        std::fprintf(stderr,
+                     "%s: --engine-threads expects a positive 32-bit "
+                     "integer\n",
+                     kTool);
+        return 2;
+      }
     } else if (arg == "--print") {
       print_artifact = true;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_dir = argv[++i];
-      if (trace_dir.empty()) {
-        std::fprintf(stderr,
-                     "scenario_runner: --trace expects a directory path\n");
-        return 2;
-      }
+      if (!cli::ensure_output_dir(kTool, "--trace", trace_dir)) return 2;
     } else if (arg == "--trace-wall") {
       trace_wall = true;
     } else {
@@ -131,29 +141,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Execution-only knob: never serialized into the artifact, so the
+  // outputs stay comparable across engine-thread counts.
+  for (auto& spec : scenarios) {
+    spec.options.engine_threads = static_cast<unsigned>(engine_threads);
+  }
+
   if (trace_wall && trace_dir.empty()) {
     std::fprintf(stderr, "scenario_runner: --trace-wall requires --trace\n");
     return 2;
   }
   harness::TraceOptions trace_options;
   if (!trace_dir.empty()) {
-    std::error_code ec;
-    if (std::filesystem::exists(trace_dir, ec) &&
-        !std::filesystem::is_directory(trace_dir, ec)) {
-      std::fprintf(stderr,
-                   "scenario_runner: --trace %s exists and is not a "
-                   "directory\n",
-                   trace_dir.c_str());
-      return 2;
-    }
-    if (!std::filesystem::is_directory(trace_dir, ec)) {
-      std::filesystem::create_directories(trace_dir, ec);
-      if (ec) {
-        std::fprintf(stderr, "scenario_runner: cannot create --trace %s: %s\n",
-                     trace_dir.c_str(), ec.message().c_str());
-        return 2;
-      }
-    }
+    // Validated and created up front by cli::ensure_output_dir.
     trace_options.dir = trace_dir;
     trace_options.wall_clock = trace_wall;
   }
