@@ -16,9 +16,11 @@
 // fields** — every number is simulated-time or a counter, so a double run
 // produces byte-identical artifacts (scripts/run_benches.sh compares).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "epoch/manager.hpp"
 #include "protocol/engine.hpp"
 #include "support/math.hpp"
 #include "support/parallel.hpp"
@@ -126,6 +128,107 @@ Point measure(double load_factor) {
   return p;
 }
 
+// --- Hot-shard skew + load-aware re-draw (src/epoch/rebalance.*). ---------
+//
+// A heavily Zipf-skewed open-loop source past nominal capacity concentrates
+// arrivals on whichever shard hosts the hottest accounts; that shard's
+// mempool saturates and its arrival -> commit tail stretches while the
+// others idle. The pair of points below runs the identical multi-epoch
+// schedule with the epoch re-draw static vs load-aware and reports the
+// hottest shard's drop count and latency tail for each — the before/after
+// evidence for the rebalance. Deterministic like every other point: the
+// planner is RNG-free and both runs are fixed-seed.
+
+constexpr std::size_t kSkewEpochs = 3;
+constexpr std::size_t kSkewRoundsPerEpoch = 10;
+constexpr double kSkewZipf = 1.4;
+constexpr double kSkewLoadFactor = 1.1;
+constexpr std::uint32_t kSkewMempoolCap = 24;
+constexpr std::uint32_t kSkewMoves = 4;
+
+protocol::Params skew_params() {
+  protocol::Params params = base_params();
+  params.zipf_s = kSkewZipf;
+  params.mempool_cap = kSkewMempoolCap;
+  const double capacity_rate =
+      static_cast<double>(params.m * params.txs_per_committee) /
+      round_duration(params);
+  params.arrival_rate = kSkewLoadFactor * capacity_rate;
+  return params;
+}
+
+struct SkewPoint {
+  std::string mode;  ///< "static" | "rebalance"
+  std::uint64_t committed = 0;
+  std::uint64_t mempool_dropped = 0;
+  std::vector<std::uint64_t> shard_dropped;
+  std::uint32_t hottest_shard = 0;
+  std::uint64_t hottest_dropped = 0;
+  double hottest_p50 = 0, hottest_p99 = 0;
+  std::size_t hottest_samples = 0;
+  double overall_p99 = 0;
+  std::uint64_t planned_moves = 0;
+  std::uint64_t migrated_outputs = 0;
+  double wall_ms = 0;  ///< stdout only, never serialized
+};
+
+SkewPoint measure_skew(bool rebalance) {
+  protocol::Params params = skew_params();
+  params.rebalance = rebalance;
+  params.rebalance_moves = kSkewMoves;
+
+  bench::PointProbe probe;
+  epoch::EpochConfig config;
+  config.epochs = kSkewEpochs;
+  config.rounds_per_epoch = kSkewRoundsPerEpoch;
+  epoch::EpochManager manager(params, protocol::AdversaryConfig{}, config);
+
+  SkewPoint p;
+  p.mode = rebalance ? "rebalance" : "static";
+  std::vector<double> all_latencies;
+  std::vector<std::vector<double>> shard_latencies(params.m);
+  while (!manager.finished()) {
+    const auto report = manager.run_round();
+    p.committed += report.txs_committed;
+    const auto& ol = report.open_loop;
+    p.mempool_dropped += ol.mempool_dropped;
+    all_latencies.insert(all_latencies.end(), ol.latencies.begin(),
+                         ol.latencies.end());
+    for (std::size_t i = 0; i < ol.latencies.size(); ++i) {
+      const std::uint32_t s =
+          i < ol.latency_shards.size() ? ol.latency_shards[i] : 0;
+      if (s < shard_latencies.size()) {
+        shard_latencies[s].push_back(ol.latencies[i]);
+      }
+    }
+  }
+
+  const auto& pools = manager.engine().mempools();
+  p.shard_dropped.resize(pools.size(), 0);
+  for (std::size_t k = 0; k < pools.size(); ++k) {
+    p.shard_dropped[k] = pools[k].dropped();
+    if (p.shard_dropped[k] > p.hottest_dropped) {
+      p.hottest_dropped = p.shard_dropped[k];
+      p.hottest_shard = static_cast<std::uint32_t>(k);
+    }
+  }
+  p.hottest_samples = shard_latencies[p.hottest_shard].size();
+  const math::SortedSample hottest(
+      std::move(shard_latencies[p.hottest_shard]));
+  p.hottest_p50 = hottest.percentile(0.50);
+  p.hottest_p99 = hottest.percentile(0.99);
+  const math::SortedSample overall(std::move(all_latencies));
+  p.overall_p99 = overall.percentile(0.99);
+  for (const auto& handoff : manager.handoffs()) {
+    if (handoff.plan) {
+      p.planned_moves += handoff.plan->moves.size();
+      p.migrated_outputs += handoff.plan->migrated_outputs;
+    }
+  }
+  p.wall_ms = probe.wall_ms();
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +325,58 @@ int main(int argc, char** argv) {
   }
   json.end_array();
   json.field("saturated_points", static_cast<std::uint64_t>(saturated));
+
+  // --- Skewed hot-shard pair: static vs load-aware epoch re-draw. --------
+  const auto skew_points = support::parallel_sweep(
+      std::size_t{2}, [&](std::size_t i) { return measure_skew(i == 1); });
+  std::printf("\n=== Hot-shard skew (zipf_s %.1f, load %.1fx): static vs "
+              "rebalance ===\n",
+              kSkewZipf, kSkewLoadFactor);
+  std::printf("%-10s %-9s %-14s %-12s %-12s %-9s %-7s %-10s\n", "mode",
+              "hottest", "hottest-drops", "hottest-p50", "hottest-p99",
+              "committed", "moves", "wall ms");
+  for (const auto& p : skew_points) {
+    std::printf("%-10s %-9u %-14llu %-12.1f %-12.1f %-9llu %-7llu %-10.1f\n",
+                p.mode.c_str(), p.hottest_shard,
+                static_cast<unsigned long long>(p.hottest_dropped),
+                p.hottest_p50, p.hottest_p99,
+                static_cast<unsigned long long>(p.committed),
+                static_cast<unsigned long long>(p.planned_moves), p.wall_ms);
+  }
+
+  json.key("skew_rebalance");
+  json.begin_object();
+  const protocol::Params skew = skew_params();
+  json.field("zipf_s", skew.zipf_s);
+  json.field("load_factor", kSkewLoadFactor);
+  json.field("mempool_cap", skew.mempool_cap);
+  json.field("epochs", static_cast<std::uint64_t>(kSkewEpochs));
+  json.field("rounds_per_epoch", static_cast<std::uint64_t>(kSkewRoundsPerEpoch));
+  json.field("rebalance_moves", kSkewMoves);
+  json.key("points");
+  json.begin_array();
+  for (const auto& p : skew_points) {
+    json.begin_object();
+    json.field("mode", p.mode);
+    json.field("committed", p.committed);
+    json.field("mempool_dropped", p.mempool_dropped);
+    json.key("shard_dropped");
+    json.begin_array();
+    for (const auto d : p.shard_dropped) json.value(d);
+    json.end_array();
+    json.field("hottest_shard", p.hottest_shard);
+    json.field("hottest_dropped", p.hottest_dropped);
+    json.field("hottest_latency_p50", p.hottest_p50);
+    json.field("hottest_latency_p99", p.hottest_p99);
+    json.field("hottest_latency_samples",
+               static_cast<std::uint64_t>(p.hottest_samples));
+    json.field("overall_latency_p99", p.overall_p99);
+    json.field("planned_moves", p.planned_moves);
+    json.field("migrated_outputs", p.migrated_outputs);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
   json.end_object();
   bench::write_artifact("sustained_load", json, argc, argv);
   return 0;

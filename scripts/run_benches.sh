@@ -60,6 +60,23 @@ for name in throughput_scalability table2_complexity; do
 done
 echo "m=32 and m=64 present in both sweep artifacts"
 
+echo "=== hot-shard skew / rebalance section ==="
+# The sustained-load artifact must carry the skewed static-vs-rebalance
+# pair (src/epoch/rebalance.*) — both modes, so the hottest-shard
+# before/after comparison stays in the tracked perf trajectory.
+artifact="bench/out/BENCH_sustained_load.json"
+if ! grep -q '"skew_rebalance":' "$artifact"; then
+  echo "error: ${artifact} is missing the skew_rebalance section" >&2
+  exit 1
+fi
+for mode in static rebalance; do
+  if ! grep -q "\"mode\":\"${mode}\"" "$artifact"; then
+    echo "error: ${artifact} skew section is missing the ${mode} point" >&2
+    exit 1
+  fi
+done
+echo "skew_rebalance section present with both modes"
+
 echo "=== bench_sustained_load (double-run byte-compare) ==="
 "$BUILD_DIR/bench_sustained_load" "bench/out/BENCH_sustained_load.rerun.json" \
   > /dev/null

@@ -81,6 +81,20 @@ for spec in tests/corpus/*.json; do
 done
 
 echo
+echo "=== skew + rebalance determinism (--engine-threads 1 vs 4) ==="
+# The load-aware re-draw feeds off the open-loop load window and re-homes
+# accounts at epoch boundaries; both must be independent of the
+# intra-engine thread count or the rebalance path breaks the determinism
+# contract. Replay the multi-epoch skew corpus spec at both settings and
+# byte-compare the artifacts.
+"$BUILD_DIR/scenario_runner" --spec tests/corpus/skew-rebalance.json \
+  --engine-threads 1 --out "$BUILD_DIR/skew-rebalance.et1.json"
+"$BUILD_DIR/scenario_runner" --spec tests/corpus/skew-rebalance.json \
+  --engine-threads 4 --out "$BUILD_DIR/skew-rebalance.et4.json"
+cmp "$BUILD_DIR/skew-rebalance.et1.json" "$BUILD_DIR/skew-rebalance.et4.json"
+echo "skew-rebalance spec: byte-identical across engine thread counts"
+
+echo
 echo "=== ThreadSanitizer job (intra-engine shard parallelism) ==="
 # The two-stage compute/emit engine path is the only code that shares an
 # Engine across threads; TSan instruments exactly that. Scope: the

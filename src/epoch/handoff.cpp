@@ -45,6 +45,10 @@ Bytes EpochHandoff::serialize() const {
   write_ids(w, retired);
   w.u64(join_candidates);
   w.u64(beacon_disqualified);
+  if (plan) {
+    w.u8(1);
+    w.bytes(plan->serialize());
+  }
   return w.take();
 }
 
@@ -69,6 +73,10 @@ EpochHandoff EpochHandoff::deserialize(BytesView b) {
   h.retired = read_ids(r);
   h.join_candidates = r.u64();
   h.beacon_disqualified = r.u64();
+  if (r.remaining() > 0) {
+    if (r.u8() != 1) throw std::invalid_argument("EpochHandoff: bad plan tag");
+    h.plan = RebalancePlan::deserialize(r.bytes());
+  }
   return h;
 }
 

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "crypto/sha256.hpp"
+#include "epoch/rebalance.hpp"
 #include "ledger/types.hpp"
 #include "net/message.hpp"
 #include "protocol/engine.hpp"
@@ -39,6 +41,10 @@ struct EpochHandoff {
   std::vector<net::NodeId> retired;  ///< departed under the churn budget
   std::uint64_t join_candidates = 0; ///< standby identities that tried
   std::uint64_t beacon_disqualified = 0;  ///< dealers dropped by PVSS
+  /// Load-aware re-draw decision applied at this boundary (present iff
+  /// Params::rebalance; appended after the legacy fields so records
+  /// without a plan keep their pre-rebalance byte encoding and digest).
+  std::optional<RebalancePlan> plan;
 
   /// Canonical encoding (deterministic; digest() hashes it).
   Bytes serialize() const;

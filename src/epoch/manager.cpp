@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "crypto/pow.hpp"
 #include "crypto/pvss.hpp"
@@ -130,9 +132,39 @@ void EpochManager::perform_boundary() {
   reconfig.randomness = randomness;
   engine_->reconfigure(reconfig);
 
+  // --- 3b. Load-aware re-draw (src/epoch/rebalance.hpp). -----------------
+  // Runs after reconfigure so the fair-draw gate sees the entering
+  // membership, and before the handoff so the plan is part of the audit
+  // record. The planner is RNG-free, so this block consumes none of the
+  // boundary's deterministic randomness streams.
+  std::optional<RebalancePlan> plan;
+  if (engine_->params().rebalance) {
+    engine_->roll_rebalance_window();
+    const auto& wl = engine_->workload();
+    std::vector<std::pair<std::uint64_t, ledger::ShardId>> accounts;
+    accounts.reserve(wl.config().users);
+    for (std::uint32_t u = 0; u < wl.config().users; ++u) {
+      const crypto::PublicKey& pk = wl.user_pk(u);
+      accounts.emplace_back(pk.y, engine_->shard_map()->shard(pk));
+    }
+    std::size_t corrupt = 0;
+    for (net::NodeId id : reconfig.members) {
+      if (engine_->misbehaved(id, engine_->round())) corrupt += 1;
+    }
+    plan = plan_rebalance(rebalance_config(engine_->params()),
+                          *engine_->shard_map(),
+                          engine_->last_rebalance_window(), accounts,
+                          reconfig.members.size(), corrupt,
+                          engine_->params().c, entering);
+    auto next_map = std::make_shared<const ledger::ShardMap>(
+        engine_->shard_map()->apply(plan->moves));
+    plan->migrated_outputs = engine_->apply_rebalance(next_map, plan->moves);
+  }
+
   handoffs_.push_back(build_handoff(*engine_, entering, std::move(joined),
                                     std::move(retired), candidates.size(),
                                     beacon.disqualified.size()));
+  handoffs_.back().plan = std::move(plan);
   transition_wall_ms_.push_back(
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

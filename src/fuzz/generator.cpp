@@ -348,6 +348,20 @@ ScenarioSpec generate_spec(rng::Stream& rng, const FuzzBounds& bounds) {
       spec.params.zipf_s = std::min(pick(rng, kZipf), bounds.max_zipf_s);
       spec.params.mempool_cap =
           std::min(pick(rng, kPool), bounds.max_mempool_cap);
+      // Load-aware re-draw, double-gated like its parent axis and drawn
+      // only where it can act: an open-loop source feeding a load window
+      // plus at least one epoch boundary to plan at.
+      if (bounds.rebalance_fraction > 0.0 && spec.epochs > 1 &&
+          rng.chance(bounds.rebalance_fraction)) {
+        constexpr std::array<std::uint32_t, 3> kMoves = {2, 4, 6};
+        spec.params.rebalance = true;
+        spec.params.rebalance_moves =
+            std::min(pick(rng, kMoves), bounds.max_rebalance_moves);
+        spec.params.rebalance_split_budget =
+            bounds.max_split_budget > 0 && rng.chance(0.5)
+                ? std::min<std::uint32_t>(1, bounds.max_split_budget)
+                : 0;
+      }
     }
 
     const CorruptBudget budget = corrupt_budget(spec);

@@ -60,6 +60,13 @@ struct FuzzBounds {
   double max_arrival_rate = 0.3;   ///< arrivals per unit simulated time
   double max_zipf_s = 1.5;         ///< account-popularity skew ceiling
   std::uint32_t max_mempool_cap = 64;
+  /// Load-aware re-draw axis (Params::rebalance, src/epoch/rebalance.*).
+  /// Off by default for the same byte-stability reason; drawn only on
+  /// specs that already sampled an open-loop source and multiple epochs
+  /// (the planner is a no-op without a load window and a boundary).
+  double rebalance_fraction = 0.0;  ///< P[open-loop multi-epoch spec rebalances]
+  std::uint32_t max_rebalance_moves = 6;
+  std::uint32_t max_split_budget = 1;
 };
 
 /// Sample one spec. Deterministic in (rng state, bounds); the caller

@@ -35,6 +35,7 @@ ledger::Amount total_value(const std::vector<ledger::UtxoStore>& stores) {
 InvariantChecker::InvariantChecker(const protocol::Engine& engine)
     : engine_(engine),
       mirror_(engine.shard_state()),
+      mirror_map_(*engine.shard_map()),
       prev_total_value_(total_value(engine.shard_state())),
       base_height_(engine.chain().height()) {
   prev_reputation_.reserve(engine.node_count());
@@ -68,7 +69,17 @@ std::size_t InvariantChecker::check_round(const protocol::RoundReport& report) {
   check_chain(report);
   check_block_txs(engine_.last_block(), engine_.params().m, committed_ids_,
                   spent_, mirror_, round, violations_);
-  check_state_digests(engine_.shard_state(), mirror_, round, violations_);
+  // On a rebalance boundary round the engine migrated its stores to the
+  // successor map right after this round's block, so the mirror (still on
+  // the old map) legitimately lags. The digest comparison is deferred to
+  // check_epoch_boundary, which replays the recorded plan's migration on
+  // the mirror first.
+  const bool mirror_behind =
+      engine_.shard_map() &&
+      engine_.shard_map()->version() != mirror_map_.version();
+  if (!mirror_behind) {
+    check_state_digests(engine_.shard_state(), mirror_, round, violations_);
+  }
 
   const ledger::Amount now_value = total_value(engine_.shard_state());
   if (now_value > prev_total_value_) {
@@ -138,7 +149,12 @@ void InvariantChecker::check_block_txs(
       out.push_back({"tx-signature", round,
                      "tx " + hex_prefix(id) + " has an invalid signature"});
     }
-    const std::uint32_t shard = tx.input_shard(m);
+    // Route through the epoch's account→shard map when the mirror carries
+    // one (post-rebalance the static hash no longer matches the homes).
+    const std::uint32_t shard =
+        (!mirror.empty() && mirror.front().shard_map())
+            ? ledger::input_shard(tx, *mirror.front().shard_map())
+            : tx.input_shard(m);
     for (const auto& in : tx.inputs) {
       if (!spent.insert(in).second) {
         out.push_back({"double-spend", round,
@@ -244,7 +260,195 @@ std::size_t InvariantChecker::check_epoch_boundary(
         return id < engine_.node_count() && engine_.misbehaved(id, round);
       },
       round, violations_);
+
+  // --- Load-aware re-draw audit (src/epoch/rebalance.hpp). ---------------
+  // The plan is recomputed from the checker's own pre-boundary map and the
+  // engine's frozen load window, and its migration is replayed on the
+  // checker's mirror stores — a forged or inconsistent record diverges
+  // from one of those recomputations.
+  if (engine_.params().rebalance && !handoff.plan) {
+    add("epoch-rebalance-plan", round,
+        "rebalance is enabled but the handoff records no plan");
+  }
+  if (handoff.plan) {
+    const epoch::RebalancePlan& plan = *handoff.plan;
+    if (plan.epoch != handoff.epoch) {
+      add("epoch-rebalance-plan", round,
+          "plan is stamped for epoch " + std::to_string(plan.epoch) +
+              " inside the handoff for epoch " + std::to_string(handoff.epoch));
+    }
+    const auto& wl = engine_.workload();
+    std::vector<std::pair<std::uint64_t, ledger::ShardId>> accounts;
+    accounts.reserve(wl.config().users);
+    for (std::uint32_t u = 0; u < wl.config().users; ++u) {
+      const std::uint64_t key = wl.user_pk(u).y;
+      accounts.emplace_back(key, mirror_map_.shard_key(key));
+    }
+    std::size_t corrupt = 0;
+    for (net::NodeId id : handoff.members) {
+      if (id < engine_.node_count() && engine_.misbehaved(id, round)) {
+        corrupt += 1;
+      }
+    }
+    check_rebalance_plan(plan, epoch::rebalance_config(engine_.params()),
+                         mirror_map_, engine_.last_rebalance_window(),
+                         accounts, handoff.members.size(), corrupt,
+                         engine_.params().c, round, violations_);
+    check_rebalance_migration(plan, mirror_, mirror_map_, round, violations_);
+    // Deferred from check_round: with the mirror migrated onto the
+    // successor map, engine state and block replay must agree again.
+    check_state_digests(engine_.shard_state(), mirror_, round, violations_);
+    if (engine_.shard_map()->digest() != plan.map_digest) {
+      add("epoch-rebalance-mapping", round,
+          "engine installed a shard map that differs from the plan's "
+          "map_digest");
+    }
+    // The workload's cached per-user assignment must agree with the
+    // installed map — a generator still routing off a stale cache would
+    // silently undo the re-draw.
+    std::size_t stale = 0;
+    for (std::uint32_t u = 0; u < wl.config().users; ++u) {
+      if (wl.cached_shard_of_user(u) !=
+          engine_.shard_map()->shard(wl.user_pk(u))) {
+        stale += 1;
+      }
+    }
+    if (stale != 0) {
+      add("epoch-rebalance-mapping", round,
+          std::to_string(stale) +
+              " workload users cache a shard assignment that diverges "
+              "from the installed map");
+    }
+  }
   return violations_.size() - before;
+}
+
+void InvariantChecker::check_rebalance_plan(
+    const epoch::RebalancePlan& plan, const epoch::RebalanceConfig& cfg,
+    const ledger::ShardMap& pre_map, const ledger::ShardLoadWindow& window,
+    const std::vector<std::pair<std::uint64_t, ledger::ShardId>>& accounts,
+    std::size_t member_count, std::size_t corrupt_members,
+    std::uint32_t committee_size, std::uint64_t round,
+    std::vector<Violation>& out) {
+  if (plan.m_before != pre_map.shards()) {
+    out.push_back({"epoch-rebalance-mapping", round,
+                   "plan claims m_before=" + std::to_string(plan.m_before) +
+                       " against a map of " +
+                       std::to_string(pre_map.shards()) + " shards"});
+  }
+  for (const auto& mv : plan.moves) {
+    if (mv.to >= pre_map.shards()) {
+      out.push_back({"epoch-rebalance-mapping", round,
+                     "move of account " + std::to_string(mv.account) +
+                         " targets out-of-range shard " +
+                         std::to_string(mv.to)});
+    }
+    if (mv.from != pre_map.shard_key(mv.account)) {
+      out.push_back({"epoch-rebalance-mapping", round,
+                     "move claims account " + std::to_string(mv.account) +
+                         " lives on shard " + std::to_string(mv.from) +
+                         ", pre-boundary map homes it on shard " +
+                         std::to_string(pre_map.shard_key(mv.account))});
+    }
+  }
+  if (plan.moves.size() > cfg.max_moves) {
+    out.push_back({"epoch-rebalance-plan", round,
+                   "plan carries " + std::to_string(plan.moves.size()) +
+                       " moves, cap is " + std::to_string(cfg.max_moves)});
+  }
+  // Determinism: the planner is a pure function of the window, roster and
+  // membership — the record must equal its recomputation bit for bit.
+  const epoch::RebalancePlan expect = epoch::plan_rebalance(
+      cfg, pre_map, window, accounts, member_count, corrupt_members,
+      committee_size, plan.epoch);
+  if (plan.moves != expect.moves || plan.m_after != expect.m_after ||
+      plan.fair_draw_tail != expect.fair_draw_tail ||
+      plan.map_digest != expect.map_digest) {
+    out.push_back({"epoch-rebalance-plan", round,
+                   "recorded plan differs from its deterministic "
+                   "recomputation (" +
+                       std::to_string(plan.moves.size()) + " vs " +
+                       std::to_string(expect.moves.size()) + " moves, m " +
+                       std::to_string(plan.m_after) + " vs " +
+                       std::to_string(expect.m_after) + ")"});
+  }
+  // Fair-draw safety of a split/merge recommendation: within budget and
+  // under the rigged-draw threshold at the rescaled committee size.
+  const std::uint32_t delta = plan.m_after > plan.m_before
+                                  ? plan.m_after - plan.m_before
+                                  : plan.m_before - plan.m_after;
+  if (delta > cfg.split_merge_budget) {
+    out.push_back({"epoch-rebalance-fair-draw", round,
+                   "split/merge from m=" + std::to_string(plan.m_before) +
+                       " to m=" + std::to_string(plan.m_after) +
+                       " exceeds the budget of " +
+                       std::to_string(cfg.split_merge_budget)});
+  }
+  if (plan.m_after != plan.m_before &&
+      plan.fair_draw_tail > cfg.max_fair_draw_tail) {
+    out.push_back({"epoch-rebalance-fair-draw", round,
+                   "recommended re-draw carries fair-draw failure tail " +
+                       std::to_string(plan.fair_draw_tail) +
+                       ", above the safety threshold " +
+                       std::to_string(cfg.max_fair_draw_tail)});
+  }
+}
+
+void InvariantChecker::check_rebalance_migration(
+    const epoch::RebalancePlan& plan, std::vector<ledger::UtxoStore>& mirror,
+    ledger::ShardMap& mirror_map, std::uint64_t round,
+    std::vector<Violation>& out) {
+  ledger::Amount before = 0;
+  for (const auto& store : mirror) before += store.total_value();
+  std::shared_ptr<const ledger::ShardMap> next;
+  try {
+    next = std::make_shared<const ledger::ShardMap>(
+        mirror_map.apply(plan.moves));
+  } catch (const std::exception& e) {
+    out.push_back({"epoch-rebalance-mapping", round,
+                   std::string("plan moves do not apply to the mirror "
+                               "map: ") +
+                       e.what()});
+    return;
+  }
+  if (next->digest() != plan.map_digest) {
+    out.push_back({"epoch-rebalance-mapping", round,
+                   "successor map replayed from the plan's moves does not "
+                   "digest to the plan's map_digest"});
+  }
+  const std::uint64_t migrated =
+      ledger::migrate_stores(mirror, mirror_map, next, plan.moves);
+  if (migrated != plan.migrated_outputs) {
+    out.push_back({"epoch-rebalance-tx-preservation", round,
+                   "migration replay moved " + std::to_string(migrated) +
+                       " outputs, plan records " +
+                       std::to_string(plan.migrated_outputs)});
+  }
+  ledger::Amount after = 0;
+  for (const auto& store : mirror) after += store.total_value();
+  if (after != before) {
+    out.push_back({"epoch-rebalance-tx-preservation", round,
+                   "migration changed total mirror value from " +
+                       std::to_string(before) + " to " +
+                       std::to_string(after)});
+  }
+  // Stranded-entry scan: every surviving output must live on the shard
+  // the successor map homes its owner on.
+  for (const auto& store : mirror) {
+    for (const ledger::OutPoint& op : store.outpoints()) {
+      const auto entry = store.get(op);
+      if (entry && next->shard_key(entry->owner.y) != store.shard()) {
+        out.push_back({"epoch-rebalance-tx-preservation", round,
+                       "output " + hex_prefix(op.tx) + ":" +
+                           std::to_string(op.index) +
+                           " is stranded on shard " +
+                           std::to_string(store.shard()) +
+                           ", its owner now homes on shard " +
+                           std::to_string(next->shard_key(entry->owner.y))});
+      }
+    }
+  }
+  mirror_map = *next;
 }
 
 void InvariantChecker::check_handoff_state(const epoch::EpochHandoff& handoff,

@@ -61,6 +61,24 @@
 //   epoch-committee-honest-majority under the threat model (> 2/3 honest
 //                                members) every re-drawn committee and
 //                                C_R keeps an honest majority
+//
+// Rebalance invariants (load-aware re-draw, src/epoch/rebalance.*; armed
+// only when a handoff carries a RebalancePlan):
+//   epoch-rebalance-plan         the recorded plan equals a deterministic
+//                                recomputation from the same load window,
+//                                roster and membership (and a rebalance-
+//                                enabled boundary always records one)
+//   epoch-rebalance-mapping      move sources match the pre-boundary map,
+//                                the engine installed exactly the map the
+//                                plan digests, and the workload's cached
+//                                shard assignments agree with it
+//   epoch-rebalance-tx-preservation replaying the migration on the mirror
+//                                moves the claimed number of outputs,
+//                                conserves value, and strands no entry
+//                                outside its mapped home shard
+//   epoch-rebalance-fair-draw    a split/merge recommendation stays within
+//                                budget and under the exact-hypergeometric
+//                                fair-draw safety threshold
 #pragma once
 
 #include <functional>
@@ -70,7 +88,9 @@
 #include <vector>
 
 #include "epoch/handoff.hpp"
+#include "epoch/rebalance.hpp"
 #include "ledger/block.hpp"
+#include "ledger/shard_map.hpp"
 #include "ledger/utxo.hpp"
 #include "protocol/engine.hpp"
 
@@ -168,6 +188,30 @@ class InvariantChecker {
       const std::function<bool(net::NodeId)>& corrupt, std::uint64_t round,
       std::vector<Violation>& out);
 
+  /// Rebalance plan audit against caller-supplied inputs: determinism
+  /// (the record must equal a recomputation from the same window /
+  /// roster / membership), mapping soundness (sources per `pre_map`,
+  /// in-range targets) and fair-draw safety of a split/merge. Forged
+  /// plans feed this directly in the non-vacuity tests.
+  static void check_rebalance_plan(
+      const epoch::RebalancePlan& plan, const epoch::RebalanceConfig& cfg,
+      const ledger::ShardMap& pre_map, const ledger::ShardLoadWindow& window,
+      const std::vector<std::pair<std::uint64_t, ledger::ShardId>>& accounts,
+      std::size_t member_count, std::size_t corrupt_members,
+      std::uint32_t committee_size, std::uint64_t round,
+      std::vector<Violation>& out);
+
+  /// Replay the plan's migration on caller-owned mirror stores: the
+  /// moved-output count must match the record, total value must be
+  /// conserved, no entry may be stranded outside its mapped home, and
+  /// the successor map must digest to the plan's map_digest. On success
+  /// `mirror_map` advances to the successor map.
+  static void check_rebalance_migration(const epoch::RebalancePlan& plan,
+                                        std::vector<ledger::UtxoStore>& mirror,
+                                        ledger::ShardMap& mirror_map,
+                                        std::uint64_t round,
+                                        std::vector<Violation>& out);
+
  private:
   void check_chain(const protocol::RoundReport& report);
   void check_recovery(const protocol::RoundReport& report);
@@ -180,6 +224,7 @@ class InvariantChecker {
 
   const protocol::Engine& engine_;
   std::vector<ledger::UtxoStore> mirror_;  ///< replayed shard state
+  ledger::ShardMap mirror_map_;  ///< independently tracked account→shard map
   std::set<std::string> committed_ids_;    ///< across all checked rounds
   std::unordered_set<ledger::OutPoint, ledger::OutPointHash> spent_;
   std::vector<double> prev_reputation_;

@@ -62,6 +62,17 @@ protocol::Params params_from_json(const JsonValue& v,
   p.arrival_rate = v.number_or("arrival_rate", p.arrival_rate);
   p.zipf_s = v.number_or("zipf_s", p.zipf_s);
   p.mempool_cap = u32_field(v, "mempool_cap", p.mempool_cap);
+  if (p.arrival_rate > 0.0 && p.mempool_cap == 0) {
+    // A zero-capacity mempool silently drops every open-loop arrival —
+    // reject the spec instead of running a vacuous experiment.
+    throw std::runtime_error(
+        "scenario: mempool_cap must be > 0 when arrival_rate > 0 (a "
+        "zero-capacity mempool drops every arrival)");
+  }
+  p.rebalance = v.bool_or("rebalance", p.rebalance);
+  p.rebalance_moves = u32_field(v, "rebalance_moves", p.rebalance_moves);
+  p.rebalance_split_budget =
+      u32_field(v, "rebalance_split_budget", p.rebalance_split_budget);
   p.capacity_min = u32_field(v, "capacity_min", p.capacity_min);
   p.capacity_max = u32_field(v, "capacity_max", p.capacity_max);
   p.standby = u32_field(v, "standby", p.standby);
@@ -281,6 +292,13 @@ void ScenarioSpec::to_json(JsonWriter& w) const {
     w.field("zipf_s", params.zipf_s);
     w.field("mempool_cap", params.mempool_cap);
   }
+  // Emitted only when the load-aware re-draw is on — specs without it
+  // keep their exact byte encoding.
+  if (params.rebalance) {
+    w.field("rebalance", params.rebalance);
+    w.field("rebalance_moves", params.rebalance_moves);
+    w.field("rebalance_split_budget", params.rebalance_split_budget);
+  }
   w.field("capacity_min", params.capacity_min);
   w.field("capacity_max", params.capacity_max);
   w.field("standby", params.standby);
@@ -399,6 +417,9 @@ std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes) {
   const bool epochs_swept = !axes.epoch_points.empty();
   auto epoch_points = axes.epoch_points;
   if (epoch_points.empty()) epoch_points.push_back({1, 0.0});
+  const bool rebalance_swept = !axes.rebalance_modes.empty();
+  auto rebalances = axes.rebalance_modes;
+  if (rebalances.empty()) rebalances.push_back(axes.base.rebalance);
 
   const auto fmt = [](double v) {
     char buf[32];
@@ -414,34 +435,40 @@ std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes) {
           for (const auto& [m, c] : shapes) {
             for (const double invalid : invalids) {
               for (const auto& [epochs, churn] : epoch_points) {
-                ScenarioSpec spec;
-                spec.params = axes.base;
-                spec.params.delays = delay;
-                spec.params.cross_shard_fraction = frac;
-                spec.params.capacity_min = cap_min;
-                spec.params.capacity_max = cap_max;
-                spec.params.m = m;
-                spec.params.c = c;
-                spec.params.invalid_fraction = invalid;
-                spec.adversary = adv;
-                spec.options = axes.options;
-                spec.rounds = axes.rounds;
-                spec.epochs = epochs;
-                spec.churn_rate = churn;
-                spec.seeds = axes.seeds;
-                spec.name = adv_name + "/" + delay_name + "/x" + fmt(frac) +
-                            "/cap" + std::to_string(cap_min) + "-" +
-                            std::to_string(cap_max);
-                if (shapes_swept) {
-                  spec.name += "/m" + std::to_string(m) + "c" +
-                               std::to_string(c);
+                for (const bool rebalance : rebalances) {
+                  ScenarioSpec spec;
+                  spec.params = axes.base;
+                  spec.params.delays = delay;
+                  spec.params.cross_shard_fraction = frac;
+                  spec.params.capacity_min = cap_min;
+                  spec.params.capacity_max = cap_max;
+                  spec.params.m = m;
+                  spec.params.c = c;
+                  spec.params.invalid_fraction = invalid;
+                  spec.params.rebalance = rebalance;
+                  spec.adversary = adv;
+                  spec.options = axes.options;
+                  spec.rounds = axes.rounds;
+                  spec.epochs = epochs;
+                  spec.churn_rate = churn;
+                  spec.seeds = axes.seeds;
+                  spec.name = adv_name + "/" + delay_name + "/x" + fmt(frac) +
+                              "/cap" + std::to_string(cap_min) + "-" +
+                              std::to_string(cap_max);
+                  if (shapes_swept) {
+                    spec.name += "/m" + std::to_string(m) + "c" +
+                                 std::to_string(c);
+                  }
+                  if (invalid_swept) spec.name += "/inv" + fmt(invalid);
+                  if (epochs_swept) {
+                    spec.name += "/e" + std::to_string(epochs) + "ch" +
+                                 fmt(churn);
+                  }
+                  if (rebalance_swept) {
+                    spec.name += rebalance ? "/rebal" : "/static";
+                  }
+                  out.push_back(std::move(spec));
                 }
-                if (invalid_swept) spec.name += "/inv" + fmt(invalid);
-                if (epochs_swept) {
-                  spec.name += "/e" + std::to_string(epochs) + "ch" +
-                               fmt(churn);
-                }
-                out.push_back(std::move(spec));
               }
             }
           }

@@ -120,6 +120,10 @@ struct MatrixAxes {
   /// epochs > 1 run under the EpochManager; `base.standby` sizes the
   /// join pool.
   std::vector<std::pair<std::size_t, double>> epoch_points;
+  /// Load-aware re-draw axis (Params::rebalance). Empty keeps the base
+  /// value and legacy scenario names; meaningful only on points with
+  /// epochs > 1 and an open-loop source.
+  std::vector<bool> rebalance_modes;
 };
 
 std::vector<ScenarioSpec> build_matrix(const MatrixAxes& axes);

@@ -58,6 +58,33 @@ class ShardMempool {
     return out;
   }
 
+  /// Re-insert a pending transaction at the tail WITHOUT admission
+  /// control or counter updates. Only the epoch-boundary re-bucketing
+  /// uses this: a rebalance may re-home more backlog into a pool than
+  /// its capacity, and dropping an already-admitted transaction there
+  /// would break flow conservation (offered == settled + carried +
+  /// dropped). Occupancy self-corrects at the next drain.
+  void restore(PendingTx pending) { queue_.push_back(std::move(pending)); }
+
+  /// Remove and return, in FIFO order, every pending entry for which
+  /// `pred(tx)` is true — the epoch-boundary re-bucketing extracts the
+  /// transactions whose home shard moved. Counters are untouched: the
+  /// entries stay admitted, they just change queues.
+  template <typename Pred>
+  std::vector<PendingTx> extract_if(Pred pred) {
+    std::vector<PendingTx> out;
+    std::deque<PendingTx> keep;
+    for (auto& pending : queue_) {
+      if (pred(pending.tx)) {
+        out.push_back(std::move(pending));
+      } else {
+        keep.push_back(std::move(pending));
+      }
+    }
+    queue_ = std::move(keep);
+    return out;
+  }
+
   std::size_t size() const { return queue_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t admitted() const { return admitted_; }

@@ -27,7 +27,7 @@ void UtxoStore::fold(const crypto::Digest& d) {
 }
 
 bool UtxoStore::add(const OutPoint& op, const TxOut& out) {
-  if (shard_of(out.owner, m_) != shard_) return false;
+  if (owner_shard(out.owner) != shard_) return false;
   auto [it, inserted] = utxos_.try_emplace(op, out);
   if (!inserted) {
     if (it->second == out) return true;  // identical re-insert: no-op
@@ -47,7 +47,7 @@ bool UtxoStore::spend(const OutPoint& op) {
 }
 
 void UtxoStore::apply(const Transaction& tx) {
-  if (shard_of(tx.spender, m_) == shard_) {
+  if (owner_shard(tx.spender) == shard_) {
     for (const auto& in : tx.inputs) spend(in);
   }
   const TxId id = tx.id();

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "ledger/shard_map.hpp"
 #include "ledger/types.hpp"
 
 namespace cyc::ledger {
@@ -29,6 +31,20 @@ class UtxoStore {
 
   ShardId shard() const { return shard_; }
   std::size_t size() const { return utxos_.size(); }
+
+  /// Install the epoch's account→shard map: membership checks in add()
+  /// and apply() consult it instead of the static hash. Without a map
+  /// (or with an identity map) behaviour is byte-identical to the seed.
+  void attach_map(std::shared_ptr<const ShardMap> map) {
+    map_ = std::move(map);
+  }
+  const std::shared_ptr<const ShardMap>& shard_map() const { return map_; }
+
+  /// Home shard of an owner under the attached map (static hash when no
+  /// map is attached).
+  ShardId owner_shard(const crypto::PublicKey& pk) const {
+    return map_ ? map_->shard(pk) : shard_of(pk, m_);
+  }
 
   /// Look up an unspent output.
   std::optional<TxOut> get(const OutPoint& op) const;
@@ -67,6 +83,7 @@ class UtxoStore {
 
   ShardId shard_ = 0;
   std::uint32_t m_ = 1;
+  std::shared_ptr<const ShardMap> map_;  ///< null until an epoch attaches one
   std::unordered_map<OutPoint, TxOut, OutPointHash> utxos_;
   crypto::Digest acc_{};  ///< XOR of entry digests of the current content
 };

@@ -53,6 +53,27 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, std::uint64_t seed)
   }
 }
 
+void WorkloadGenerator::install_shard_map(
+    std::shared_ptr<const ShardMap> map) {
+  if (!map || map->shards() != config_.shards) {
+    throw std::invalid_argument(
+        "workload: shard map does not match the configured shard count");
+  }
+  map_ = std::move(map);
+  for (auto& bucket : shard_users_) bucket.clear();
+  for (std::uint32_t u = 0; u < config_.users; ++u) {
+    const ShardId shard = map_->shard(users_[u].pk);
+    user_shard_[u] = shard;
+    shard_users_[shard].push_back(u);
+  }
+  for (ShardId s = 0; s < config_.shards; ++s) {
+    if (shard_users_[s].empty()) {
+      throw std::invalid_argument(
+          "workload: shard map leaves a shard with no users");
+    }
+  }
+}
+
 std::size_t WorkloadGenerator::spendable_outputs() const {
   std::size_t total = 0;
   for (const auto& q : pool_) total += q.size();
@@ -106,7 +127,7 @@ Transaction WorkloadGenerator::make_valid_tx_from(std::size_t spender,
     tx.outputs.push_back(TxOut{users_[spender].pk, budget});
   } else {
     budget -= config_.fee;
-    const ShardId home = user_shard_[spender];
+    const ShardId home = shard_of_user(spender);
     const std::size_t receiver = cross_shard
                                      ? pick_user_not_in_shard(home)
                                      : pick_user_in_shard(home);

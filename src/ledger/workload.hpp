@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "ledger/shard_map.hpp"
 #include "ledger/types.hpp"
 #include "ledger/utxo.hpp"
 #include "support/rng.hpp"
@@ -73,8 +75,39 @@ class WorkloadGenerator {
   /// engine surfaces this counter per round.
   std::uint64_t shortfall() const { return shortfall_; }
 
+  /// Install the epoch's account→shard map: every shard lookup routes
+  /// through it from now on, and the per-shard user buckets are rebuilt
+  /// to match. Throws if the map's shard count disagrees with the
+  /// config, or if the re-map would leave a shard with no users (the
+  /// planner never emits such a plan).
+  void install_shard_map(std::shared_ptr<const ShardMap> map);
+  const std::shared_ptr<const ShardMap>& shard_map() const { return map_; }
+
   /// Home shard of `user` (arrival sources route by spender shard).
-  ShardId shard_of_user(std::size_t user) const { return user_shard_[user]; }
+  /// Routes through the installed epoch map so the generator can never
+  /// disagree with the engine; without a map it falls back to the
+  /// construction-time hash cache.
+  ShardId shard_of_user(std::size_t user) const {
+    return map_ ? map_->shard(users_[user].pk) : user_shard_[user];
+  }
+
+  /// The construction-/install-time cache behind the per-shard user
+  /// buckets. The invariant checker cross-checks it against the epoch
+  /// map; it is not a routing source.
+  ShardId cached_shard_of_user(std::size_t user) const {
+    return user_shard_[user];
+  }
+
+  const crypto::PublicKey& user_pk(std::size_t user) const {
+    return users_[user].pk;
+  }
+
+  /// TEST-ONLY: corrupt the cached shard of `user` without touching the
+  /// map — forges the cache/map desync the `epoch-rebalance-mapping`
+  /// invariant must flag.
+  void force_cached_shard(std::size_t user, ShardId shard) {
+    user_shard_[user] = shard;
+  }
 
   /// Report that `tx` was committed: its outputs become spendable.
   void mark_committed(const Transaction& tx);
@@ -105,6 +138,7 @@ class WorkloadGenerator {
 
   WorkloadConfig config_;
   rng::Stream rng_;
+  std::shared_ptr<const ShardMap> map_;  ///< epoch map; null until installed
   std::vector<crypto::KeyPair> users_;
   std::vector<ShardId> user_shard_;
   std::vector<std::vector<std::size_t>> shard_users_;

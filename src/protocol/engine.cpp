@@ -101,7 +101,22 @@ Engine::Engine(Params params, AdversaryConfig adversary, EngineOptions options)
       wl, rng_.fork("workload").seed());
   shard_state_ = workload_->genesis();
 
+  // Epoch-scoped account→shard map, identity at genesis: it answers
+  // exactly like the static `shard_of` hash until a rebalance installs
+  // overrides, so routing through it is byte-inert with the feature off.
+  shard_map_ = std::make_shared<const ledger::ShardMap>(params_.m);
+  workload_->install_shard_map(shard_map_);
+  for (auto& store : shard_state_) store.attach_map(shard_map_);
+
   if (open_loop()) {
+    if (params_.mempool_cap == 0) {
+      // A zero-capacity mempool is always full(): every open-loop
+      // arrival would be silently dropped, which reads as a healthy
+      // zero-throughput system in every report. Reject loudly instead.
+      throw std::invalid_argument(
+          "engine: mempool_cap must be > 0 when arrival_rate > 0 "
+          "(a zero-capacity mempool drops every arrival)");
+    }
     // Sustained-traffic mode: arrivals come from a dedicated stream (the
     // closed-loop path never touches it, and forking is a pure function
     // of (seed, name), so a zero rate stays byte-identical).
@@ -826,6 +841,7 @@ void Engine::start_round_state() {
           n.utxo = shard_state_[static_cast<std::size_t>(n.committee)];
         } else {
           n.utxo = ledger::UtxoStore(0, params_.m);
+          n.utxo.attach_map(shard_map_);
         }
       },
       options_.engine_threads);
@@ -853,8 +869,8 @@ void Engine::start_round_state() {
     openloop_ingest(batch);
   }
   for (auto& tx : batch) {
-    const std::uint32_t k = tx.input_shard(params_.m);
-    if (tx.is_intra_shard(params_.m)) {
+    const std::uint32_t k = ledger::input_shard(tx, *shard_map_);
+    if (ledger::is_intra_shard(tx, *shard_map_)) {
       committees_[k].intra_list.push_back(std::move(tx));
     } else {
       committees_[k].cross_list.push_back(std::move(tx));
@@ -885,19 +901,34 @@ double Engine::nominal_round_duration() const {
 void Engine::openloop_ingest(std::vector<ledger::Transaction>& batch) {
   openloop_round_ = OpenLoopRoundStats{};
 
+  // Rebalance mode additionally accumulates the per-shard load window
+  // the epoch-boundary planner consumes. Pure counting — no RNG — so
+  // the branch cannot perturb the off-mode byte streams.
+  const bool track_load = params_.rebalance;
+  if (track_load && load_window_.offered.empty()) {
+    load_window_.offered.assign(params_.m, 0);
+    load_window_.dropped.assign(params_.m, 0);
+    load_window_.occupancy_sum.assign(params_.m, 0);
+  }
+
   // Generate this round's arrival window and admit into the mempools.
   // A transaction rejected at admission returns its inputs to the
   // workload pool (mark_rejected no-ops for invalid injections).
   const double window_end = openloop_clock_ + nominal_round_duration();
   for (auto& arrival : openloop_->arrivals_until(window_end)) {
     openloop_round_.arrived += 1;
-    const std::uint32_t k = arrival.tx.input_shard(params_.m);
+    const std::uint32_t k = ledger::input_shard(arrival.tx, *shard_map_);
+    if (track_load) {
+      load_window_.offered[k] += 1;
+      load_window_.account_arrivals[arrival.tx.spender.y] += 1;
+    }
     if (mempools_[k].admit(arrival.tx, arrival.time)) {
       openloop_round_.admitted += 1;
       const auto id = arrival.tx.id();
       arrival_times_[std::string(id.begin(), id.end())] = arrival.time;
     } else {
       openloop_round_.mempool_dropped += 1;
+      if (track_load) load_window_.dropped[k] += 1;
       workload_->mark_rejected(arrival.tx);
     }
   }
@@ -911,7 +942,7 @@ void Engine::openloop_ingest(std::vector<ledger::Transaction>& batch) {
   // against the same per-round bound.
   std::vector<std::size_t> carried(params_.m, 0);
   for (const auto& tx : batch) {
-    carried[tx.input_shard(params_.m)] += 1;
+    carried[ledger::input_shard(tx, *shard_map_)] += 1;
   }
   for (std::uint32_t k = 0; k < params_.m; ++k) {
     const std::size_t budget =
@@ -923,11 +954,58 @@ void Engine::openloop_ingest(std::vector<ledger::Transaction>& batch) {
       batch.push_back(std::move(pending.tx));
     }
   }
+  // Occupancy is sampled HERE, after the drain: it is the backlog
+  // carried into the next round, not the pre-service queue depth (see
+  // src/ledger/README.md; tests/protocol/test_engine_openloop.cpp pins
+  // this).
   openloop_round_.occupancy.reserve(params_.m);
-  for (const auto& pool : mempools_) {
-    openloop_round_.backlog += pool.size();
-    openloop_round_.occupancy.push_back(pool.size());
+  for (std::uint32_t k = 0; k < params_.m; ++k) {
+    const std::size_t backlog = mempools_[k].size();
+    openloop_round_.backlog += backlog;
+    openloop_round_.occupancy.push_back(backlog);
+    if (track_load) load_window_.occupancy_sum[k] += backlog;
   }
+  if (track_load) load_window_.rounds += 1;
+}
+
+void Engine::roll_rebalance_window() {
+  frozen_window_ = std::move(load_window_);
+  load_window_ = ledger::ShardLoadWindow{};
+}
+
+std::uint64_t Engine::apply_rebalance(
+    std::shared_ptr<const ledger::ShardMap> next,
+    const std::vector<ledger::AccountMove>& moves) {
+  if (!next || next->shards() != params_.m) {
+    throw std::invalid_argument(
+        "engine: rebalance map must keep the live shard count");
+  }
+  // Migrate every re-homed UTXO between the authoritative shard stores
+  // (rolling digests stay self-consistent: spend from the old home, add
+  // at the new one under the successor map).
+  const std::uint64_t migrated =
+      ledger::migrate_stores(shard_state_, *shard_map_, next, moves);
+
+  // Re-bucket the admitted open-loop backlog: a pending transaction
+  // whose spender moved must wait in its new home's queue or the next
+  // drain would hand it to the wrong committee. restore() bypasses
+  // admission control — these transactions are already admitted, and
+  // dropping one here would break flow conservation.
+  if (!mempools_.empty()) {
+    for (std::uint32_t k = 0; k < params_.m; ++k) {
+      auto moved = mempools_[k].extract_if([&](const ledger::Transaction& tx) {
+        return ledger::input_shard(tx, *next) != k;
+      });
+      for (auto& pending : moved) {
+        mempools_[ledger::input_shard(pending.tx, *next)].restore(
+            std::move(pending));
+      }
+    }
+  }
+
+  shard_map_ = std::move(next);
+  workload_->install_shard_map(shard_map_);
+  return migrated;
 }
 
 RoundReport Engine::run_round() {
@@ -1042,7 +1120,7 @@ void Engine::finalize_round(RoundReport& report) {
     }
     // Safety accounting: a ground-truth-invalid transaction reaching the
     // block is a protocol failure.
-    const std::uint32_t shard = tx.input_shard(params_.m);
+    const std::uint32_t shard = ledger::input_shard(tx, *shard_map_);
     if (ledger::V(tx, shard_state_[shard])) {
       for (const auto& in : tx.inputs) spent_in_block.insert(in);
       committed.push_back(tx);
@@ -1152,7 +1230,7 @@ void Engine::finalize_round(RoundReport& report) {
         auto& store = shard_state_[s];
         for (std::size_t i = 0; i < committed.size(); ++i) {
           const auto& tx = committed[i];
-          if (tx.input_shard(params_.m) == s) {
+          if (ledger::input_shard(tx, *shard_map_) == s) {
             fees[i] = static_cast<double>(ledger::tx_fee(tx, store));
           }
           store.apply(tx);
@@ -1213,6 +1291,8 @@ void Engine::finalize_round(RoundReport& report) {
       const auto it = arrival_times_.find(std::string(id.begin(), id.end()));
       if (it == arrival_times_.end()) continue;  // e.g. genesis carryover
       openloop_round_.latencies.push_back(openloop_clock_ - it->second);
+      openloop_round_.latency_shards.push_back(
+          ledger::input_shard(tx, *shard_map_));
       arrival_times_.erase(it);
     }
     report.open_loop = openloop_round_;

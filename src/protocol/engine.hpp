@@ -218,6 +218,32 @@ class Engine {
   /// commit stamp every transaction in that round's block receives).
   double open_loop_clock() const { return openloop_clock_; }
 
+  /// Epoch-scoped account→shard map (identity until a rebalance re-homes
+  /// accounts). Shared with the workload generator and every UTXO store;
+  /// immutable once installed — boundaries swap the pointer.
+  const std::shared_ptr<const ledger::ShardMap>& shard_map() const {
+    return shard_map_;
+  }
+  /// The workload generator (ground truth + account roster); the mutable
+  /// overload is a test hook for forging generator/map desyncs.
+  const ledger::WorkloadGenerator& workload() const { return *workload_; }
+  ledger::WorkloadGenerator& workload_mut() { return *workload_; }
+
+  /// Per-shard load statistics frozen at the most recent epoch boundary
+  /// (the rebalance planner input). Empty unless Params::rebalance.
+  const ledger::ShardLoadWindow& last_rebalance_window() const {
+    return frozen_window_;
+  }
+  /// Freeze the accumulating load window (epoch boundary; the epoch
+  /// manager calls this before planning the re-draw).
+  void roll_rebalance_window();
+  /// Install the successor account→shard map: migrate every re-homed
+  /// UTXO between shard stores, re-bucket the mempool backlog, and
+  /// re-home the workload generator. Returns the number of migrated
+  /// outputs (recorded in the handoff's RebalancePlan for audit).
+  std::uint64_t apply_rebalance(std::shared_ptr<const ledger::ShardMap> next,
+                                const std::vector<ledger::AccountMove>& moves);
+
   /// Corrupt a node at the start of the current round; the behaviour
   /// takes effect one round later (mildly-adaptive adversary, §III-C).
   void corrupt(net::NodeId id, Behavior behavior);
@@ -570,6 +596,12 @@ class Engine {
   double openloop_clock_ = 0.0;
   std::uint64_t openloop_exhausted_ = 0;  ///< source exhausted() last seen
   OpenLoopRoundStats openloop_round_;
+  // Adaptive sharding (all inert when params_.rebalance is off): the
+  // epoch's account→shard map, the load window accumulating over the
+  // current epoch, and the window frozen at the last boundary.
+  std::shared_ptr<const ledger::ShardMap> shard_map_;
+  ledger::ShardLoadWindow load_window_;
+  ledger::ShardLoadWindow frozen_window_;
   std::vector<ledger::UtxoStore> shard_state_;
   ledger::Chain chain_;
   ledger::Block last_block_;       // full body of the newest chain block

@@ -421,7 +421,7 @@ void Engine::emit_cross_txlist(std::uint32_t k, const Bytes& wire_bytes,
     std::map<std::uint32_t, std::vector<ledger::Transaction>> by_dest;
     for (std::size_t i = 0; i < txs.size(); ++i) {
       if (leader.cross_decision[i] != Vote::kYes) continue;
-      for (std::uint32_t shard : txs[i].output_shards(params_.m)) {
+      for (std::uint32_t shard : ledger::output_shards(txs[i], *shard_map_)) {
         if (shard != k) {
           by_dest[shard].push_back(txs[i]);
           break;  // route via the first foreign shard
@@ -459,7 +459,7 @@ void Engine::leader_start_cross(std::uint32_t k, net::Time now) {
     if (committees_[k].cross_list.empty()) return;
     std::set<std::uint32_t> dests;
     for (const auto& tx : committees_[k].cross_list) {
-      for (std::uint32_t shard : tx.output_shards(params_.m)) {
+      for (std::uint32_t shard : ledger::output_shards(tx, *shard_map_)) {
         if (shard != k) dests.insert(shard);
       }
     }

@@ -52,6 +52,19 @@ struct Params {
   double zipf_s = 1.0;              ///< account-popularity exponent (0 = uniform)
   std::uint32_t mempool_cap = 256;  ///< per-shard admission bound
 
+  /// Load-aware epoch re-draw (src/epoch/rebalance.*): at each epoch
+  /// boundary a deterministic planner moves the hottest accounts off
+  /// overloaded shards, gated by the exact-hypergeometric fair-draw
+  /// constraint. Off keeps every artifact byte-identical to the static
+  /// `shard_of` sharding (the engine then accumulates no load window and
+  /// the handoff carries no plan).
+  bool rebalance = false;
+  std::uint32_t rebalance_moves = 4;  ///< max account moves per boundary
+  /// Advisory committee split/merge budget: max |m_after - m_before| the
+  /// planner may recommend (recorded + safety-checked in the handoff;
+  /// the live shard count stays fixed within a run).
+  std::uint32_t rebalance_split_budget = 0;
+
   /// Vote capacity model (§VII: reputation reflects computing power):
   /// node capacity is drawn uniformly from [capacity_min, capacity_max];
   /// a node judges at most `capacity` transactions per list and votes

@@ -53,6 +53,10 @@ struct OpenLoopRoundStats {
   /// transaction committed this round (commit stamps at the end of the
   /// round's window), in block order.
   std::vector<double> latencies;
+  /// Input shard (under the epoch's account map) of each `latencies`
+  /// entry, parallel to it — per-shard tail-latency accounting for the
+  /// skew/rebalance bench.
+  std::vector<std::uint32_t> latency_shards;
 };
 
 struct CommitteeRoundStats {

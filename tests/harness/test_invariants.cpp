@@ -505,5 +505,299 @@ TEST(InvariantChecker, FlagsForgedCatchUpDigest) {
   EXPECT_TRUE(out.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Load-aware re-draw invariants (epoch-rebalance-*): green on a genuine
+// rebalance boundary, and non-vacuous — forged RebalancePlan records
+// (divergent moves, wrong sources, inflated migration counts, unsafe
+// splits) and a workload routing off a stale cached map must be flagged.
+// ---------------------------------------------------------------------------
+
+Params rebalance_params(std::uint64_t seed) {
+  Params p = small_params(seed);
+  p.cross_shard_fraction = 0.2;
+  p.invalid_fraction = 0.1;
+  p.arrival_rate = 0.15;
+  p.zipf_s = 1.4;
+  p.mempool_cap = 16;
+  p.rebalance = true;
+  p.rebalance_moves = 4;
+  return p;
+}
+
+struct RebalanceFixture {
+  epoch::EpochManager manager;
+
+  explicit RebalanceFixture(std::uint64_t seed)
+      : manager(rebalance_params(seed), AdversaryConfig{}, [] {
+          epoch::EpochConfig c;
+          c.epochs = 2;
+          c.rounds_per_epoch = 2;
+          c.churn_rate = 0.0;
+          return c;
+        }()) {}
+
+  /// Run through the first boundary; returns the genuine handoff.
+  epoch::EpochHandoff cross_boundary(InvariantChecker& checker) {
+    while (manager.handoffs().empty()) {
+      checker.check_round(manager.run_round());
+    }
+    return manager.handoffs().front();
+  }
+};
+
+TEST(InvariantChecker, RebalanceBoundaryStaysGreenAndRecordsAPlan) {
+  RebalanceFixture fx(61);
+  InvariantChecker checker(fx.manager.engine());
+  const auto handoff = fx.cross_boundary(checker);
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().back().invariant + " — " +
+             checker.violations().back().detail;
+  EXPECT_EQ(checker.check_epoch_boundary(handoff), 0u)
+      << (checker.violations().empty()
+              ? ""
+              : checker.violations().back().invariant + " — " +
+                    checker.violations().back().detail);
+  ASSERT_TRUE(handoff.plan.has_value())
+      << "rebalance is on: the handoff must carry the audit record";
+  ASSERT_FALSE(handoff.plan->moves.empty())
+      << "fixture must actually re-home accounts or the audit is vacuous";
+  EXPECT_EQ(fx.manager.engine().shard_map()->digest(),
+            handoff.plan->map_digest);
+}
+
+TEST(InvariantChecker, FlagsMissingRebalancePlan) {
+  RebalanceFixture fx(62);
+  InvariantChecker checker(fx.manager.engine());
+  epoch::EpochHandoff forged = fx.cross_boundary(checker);
+  ASSERT_TRUE(forged.plan.has_value());
+  // A handoff that silently drops the re-draw record.
+  forged.plan.reset();
+  EXPECT_GT(checker.check_epoch_boundary(forged), 0u);
+  EXPECT_TRUE(has_invariant(checker.violations(), "epoch-rebalance-plan"));
+}
+
+TEST(InvariantChecker, FlagsWorkloadRoutingOffAStaleCachedMap) {
+  // Satellite check: a generator whose cached per-user assignment
+  // diverges from the installed map would silently undo the re-draw.
+  // Same seed as the green test, so any violation below is the forgery.
+  RebalanceFixture fx(61);
+  InvariantChecker checker(fx.manager.engine());
+  const auto handoff = fx.cross_boundary(checker);
+  ASSERT_TRUE(handoff.plan.has_value());
+  auto& engine = fx.manager.engine();
+  const ledger::ShardId truth =
+      engine.shard_map()->shard(engine.workload().user_pk(0));
+  engine.workload_mut().force_cached_shard(
+      0, (truth + 1) % engine.params().m);
+  EXPECT_GT(checker.check_epoch_boundary(handoff), 0u);
+  EXPECT_TRUE(has_invariant(checker.violations(), "epoch-rebalance-mapping"));
+  for (const auto& v : checker.violations()) {
+    EXPECT_EQ(v.invariant, "epoch-rebalance-mapping")
+        << "only the stale-cache audit should fire: " << v.detail;
+  }
+}
+
+/// Synthetic planner inputs (identity map, skewed window) mirroring the
+/// boundary audit's recomputation — forged plans feed the static helper
+/// directly against these.
+struct PlanAuditInputs {
+  static constexpr std::uint32_t kShards = 3;
+  static constexpr std::size_t kMembers = 60;
+  static constexpr std::size_t kCorrupt = 5;
+  static constexpr std::uint32_t kSeats = 9;
+
+  ledger::ShardMap map{kShards};
+  epoch::RebalanceConfig cfg;
+  std::vector<std::pair<std::uint64_t, ledger::ShardId>> accounts;
+  ledger::ShardLoadWindow window;
+  epoch::RebalancePlan genuine;
+
+  PlanAuditInputs() {
+    cfg.enabled = true;
+    cfg.max_moves = 4;
+    for (std::uint64_t key = 1; key <= 30; ++key) {
+      accounts.emplace_back(key, map.shard_key(key));
+    }
+    window.rounds = 10;
+    window.offered.assign(kShards, 0);
+    window.dropped.assign(kShards, 0);
+    window.occupancy_sum.assign(kShards, 0);
+    for (const auto& [key, shard] : accounts) {
+      const std::uint64_t arrivals = shard == 0 ? 20 : 1;
+      window.account_arrivals[key] = arrivals;
+      window.offered[shard] += arrivals;
+    }
+    genuine = epoch::plan_rebalance(cfg, map, window, accounts, kMembers,
+                                    kCorrupt, kSeats, 2);
+  }
+
+  void audit(const epoch::RebalancePlan& plan,
+             std::vector<Violation>& out) const {
+    InvariantChecker::check_rebalance_plan(plan, cfg, map, window, accounts,
+                                           kMembers, kCorrupt, kSeats,
+                                           /*round=*/4, out);
+  }
+};
+
+TEST(InvariantChecker, RebalancePlanAuditGreenOnGenuinePlan) {
+  PlanAuditInputs in;
+  ASSERT_FALSE(in.genuine.moves.empty());
+  std::vector<Violation> out;
+  in.audit(in.genuine, out);
+  EXPECT_TRUE(out.empty()) << out.back().invariant + " — " +
+                                  out.back().detail;
+}
+
+TEST(InvariantChecker, FlagsForgedPlanDivergingFromRecomputation) {
+  PlanAuditInputs in;
+  epoch::RebalancePlan forged = in.genuine;
+  // Silently drop one re-homing — the deterministic recomputation
+  // disagrees bit for bit.
+  forged.moves.pop_back();
+  std::vector<Violation> out;
+  in.audit(forged, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-rebalance-plan"));
+}
+
+TEST(InvariantChecker, FlagsForgedPlanOverTheMoveCap) {
+  PlanAuditInputs in;
+  epoch::RebalancePlan forged = in.genuine;
+  for (const auto& [key, shard] : in.accounts) {
+    if (forged.moves.size() > in.cfg.max_moves) break;
+    if (shard == 1) {
+      forged.moves.push_back(ledger::AccountMove{key, 1, 2});
+    }
+  }
+  ASSERT_GT(forged.moves.size(), in.cfg.max_moves);
+  std::vector<Violation> out;
+  in.audit(forged, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-rebalance-plan"));
+}
+
+TEST(InvariantChecker, FlagsForgedPlanWithUnsoundMapping) {
+  PlanAuditInputs in;
+  std::vector<Violation> out;
+
+  // A move claiming the account lives somewhere it doesn't.
+  epoch::RebalancePlan forged = in.genuine;
+  ASSERT_FALSE(forged.moves.empty());
+  forged.moves[0].from = (forged.moves[0].from + 1) % PlanAuditInputs::kShards;
+  in.audit(forged, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-rebalance-mapping"));
+
+  // A move targeting a shard that does not exist.
+  forged = in.genuine;
+  forged.moves[0].to = PlanAuditInputs::kShards + 4;
+  out.clear();
+  in.audit(forged, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-rebalance-mapping"));
+
+  // A record lying about the pre-boundary shard count.
+  forged = in.genuine;
+  forged.m_before += 2;
+  out.clear();
+  in.audit(forged, out);
+  EXPECT_TRUE(has_invariant(out, "epoch-rebalance-mapping"));
+}
+
+TEST(InvariantChecker, FlagsForgedPlanWithUnsafeSplit) {
+  PlanAuditInputs in;
+  // The genuine plan keeps m fixed (budget 0). Forge a split
+  // recommendation: beyond the budget AND carrying a failure tail above
+  // the rigged-draw threshold — both fair-draw audits must fire.
+  epoch::RebalancePlan forged = in.genuine;
+  forged.m_after = forged.m_before + 1;
+  forged.fair_draw_tail = 0.5;
+  std::vector<Violation> out;
+  in.audit(forged, out);
+  std::size_t fair_draw = 0;
+  for (const auto& v : out) {
+    if (v.invariant == "epoch-rebalance-fair-draw") fair_draw += 1;
+  }
+  EXPECT_EQ(fair_draw, 2u) << "budget and tail audits must both fire";
+}
+
+TEST(InvariantChecker, FlagsForgedMigrationRecord) {
+  // Mirror stores with three outputs: two owned by the account the plan
+  // re-homes, one by a bystander on the same shard.
+  constexpr std::uint32_t kShards = 3;
+  const crypto::KeyPair mover = keypair_in_shard(0, kShards);
+  const crypto::KeyPair stayer = keypair_in_shard(0, kShards, 1);
+  auto identity = std::make_shared<const ledger::ShardMap>(kShards);
+  std::vector<ledger::UtxoStore> mirror;
+  for (std::uint32_t k = 0; k < kShards; ++k) {
+    mirror.emplace_back(k, kShards);
+    mirror.back().attach_map(identity);
+  }
+  auto out_point = [](std::uint64_t i) {
+    ledger::OutPoint op;
+    op.tx = crypto::sha256(be64(i));
+    op.index = 0;
+    return op;
+  };
+  ASSERT_TRUE(mirror[0].add(out_point(1), {mover.pk, 40}));
+  ASSERT_TRUE(mirror[0].add(out_point(2), {mover.pk, 10}));
+  ASSERT_TRUE(mirror[0].add(out_point(3), {stayer.pk, 25}));
+
+  epoch::RebalancePlan plan;
+  plan.epoch = 2;
+  plan.m_before = kShards;
+  plan.m_after = kShards;
+  plan.moves = {ledger::AccountMove{mover.pk.y, 0, 2}};
+  plan.map_digest = identity->apply(plan.moves).digest();
+  plan.migrated_outputs = 2;
+
+  // The honest record replays green and advances the mirror map.
+  {
+    auto stores = mirror;
+    ledger::ShardMap mirror_map(kShards);
+    std::vector<Violation> out;
+    InvariantChecker::check_rebalance_migration(plan, stores, mirror_map,
+                                                /*round=*/4, out);
+    EXPECT_TRUE(out.empty()) << out.back().invariant + " — " +
+                                    out.back().detail;
+    EXPECT_EQ(mirror_map.digest(), plan.map_digest);
+    EXPECT_TRUE(stores[2].contains(out_point(1)));
+    EXPECT_TRUE(stores[0].contains(out_point(3)));
+  }
+
+  // A record inflating the migrated-output count.
+  {
+    auto stores = mirror;
+    ledger::ShardMap mirror_map(kShards);
+    epoch::RebalancePlan forged = plan;
+    forged.migrated_outputs = 5;
+    std::vector<Violation> out;
+    InvariantChecker::check_rebalance_migration(forged, stores, mirror_map,
+                                                /*round=*/4, out);
+    EXPECT_TRUE(has_invariant(out, "epoch-rebalance-tx-preservation"));
+  }
+
+  // A record whose map_digest does not match the successor map replayed
+  // from its own moves.
+  {
+    auto stores = mirror;
+    ledger::ShardMap mirror_map(kShards);
+    epoch::RebalancePlan forged = plan;
+    forged.map_digest = crypto::sha256(bytes_of("not-the-successor"));
+    std::vector<Violation> out;
+    InvariantChecker::check_rebalance_migration(forged, stores, mirror_map,
+                                                /*round=*/4, out);
+    EXPECT_TRUE(has_invariant(out, "epoch-rebalance-mapping"));
+  }
+
+  // Moves that cannot apply to the mirror map at all.
+  {
+    auto stores = mirror;
+    ledger::ShardMap mirror_map(kShards);
+    epoch::RebalancePlan forged = plan;
+    forged.moves = {ledger::AccountMove{mover.pk.y, 0, kShards + 1}};
+    std::vector<Violation> out;
+    InvariantChecker::check_rebalance_migration(forged, stores, mirror_map,
+                                                /*round=*/4, out);
+    EXPECT_TRUE(has_invariant(out, "epoch-rebalance-mapping"));
+  }
+}
+
 }  // namespace
 }  // namespace cyc::harness

@@ -303,6 +303,67 @@ TEST(ScenarioMatrix, DefaultMatrixShape) {
       << "default matrix must include an open-loop sustained-load point";
 }
 
+TEST(ScenarioSpec, RejectsZeroCapacityMempoolUnderLoad) {
+  // mempool_cap 0 with an open-loop source would silently drop every
+  // arrival — the spec parser refuses it up front, mirroring the
+  // engine's own construction-time sanity check.
+  EXPECT_THROW(ScenarioSpec::list_from_json(
+                   R"({"params": {"arrival_rate": 0.5, "mempool_cap": 0}})"),
+               std::runtime_error);
+  // Cap 0 stays legal with the source off (closed-loop runs never
+  // consult the mempools), and any positive cap under load parses fine.
+  EXPECT_NO_THROW(
+      ScenarioSpec::list_from_json(R"({"params": {"mempool_cap": 0}})"));
+  EXPECT_NO_THROW(ScenarioSpec::list_from_json(
+      R"({"params": {"arrival_rate": 0.5, "mempool_cap": 8}})"));
+}
+
+TEST(ScenarioSpec, RebalanceFieldsRoundTripAndStayGatedWhenOff) {
+  const auto specs = ScenarioSpec::list_from_json(R"({
+    "name": "rebal",
+    "params": {"arrival_rate": 0.2, "mempool_cap": 8, "rebalance": true,
+               "rebalance_moves": 6, "rebalance_split_budget": 1},
+    "rounds": 2,
+    "epochs": 3
+  })");
+  ASSERT_EQ(specs.size(), 1u);
+  const ScenarioSpec& spec = specs[0];
+  EXPECT_TRUE(spec.params.rebalance);
+  EXPECT_EQ(spec.params.rebalance_moves, 6u);
+  EXPECT_EQ(spec.params.rebalance_split_budget, 1u);
+  // The canonical encoder round-trips byte-identically.
+  const std::string text = spec.to_json_text();
+  const auto back = ScenarioSpec::list_from_json(text);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].to_json_text(), text);
+  // With the feature off the encoder emits no rebalance keys at all —
+  // pre-rebalance artifacts keep their exact bytes.
+  ScenarioSpec off = spec;
+  off.params.rebalance = false;
+  EXPECT_EQ(off.to_json_text().find("rebalance"), std::string::npos);
+}
+
+TEST(ScenarioMatrix, SweepsRebalanceModes) {
+  MatrixAxes axes;
+  axes.base.arrival_rate = 0.2;
+  axes.base.mempool_cap = 8;
+  axes.seeds = {1};
+  axes.rebalance_modes = {false, true};
+  const auto matrix = build_matrix(axes);
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_FALSE(matrix[0].params.rebalance);
+  EXPECT_TRUE(matrix[1].params.rebalance);
+  EXPECT_NE(matrix[0].name.find("/static"), std::string::npos);
+  EXPECT_NE(matrix[1].name.find("/rebal"), std::string::npos);
+  // An empty axis keeps the base setting and adds no name segment.
+  axes.rebalance_modes.clear();
+  const auto flat = build_matrix(axes);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_FALSE(flat[0].params.rebalance);
+  EXPECT_EQ(flat[0].name.find("/rebal"), std::string::npos);
+  EXPECT_EQ(flat[0].name.find("/static"), std::string::npos);
+}
+
 TEST(BehaviorTokens, RoundTripAllBehaviors) {
   using protocol::Behavior;
   for (Behavior b : {Behavior::kHonest, Behavior::kCrash,

@@ -154,5 +154,59 @@ TEST(OpenLoopEngine, Deterministic) {
   }
 }
 
+TEST(OpenLoopEngine, RejectsZeroCapacityMempoolWithArrivals) {
+  // mempool_cap = 0 with an open-loop source would silently drop every
+  // arrival — the engine must refuse to construct instead of running a
+  // vacuous experiment.
+  Params p = openloop_params(9, 0.5);
+  p.mempool_cap = 0;
+  EXPECT_THROW(Engine(p, {}), std::invalid_argument);
+}
+
+TEST(OpenLoopEngine, ZeroCapacityMempoolFineWithoutArrivals) {
+  // Closed-loop runs never consult the mempools, so cap 0 stays legal
+  // there.
+  Params p = small_params(9);
+  p.mempool_cap = 0;
+  Engine engine(p, {});
+  const auto report = engine.run(1);
+  EXPECT_GT(report.total_committed(), 0u);
+}
+
+TEST(OpenLoopEngine, OccupancySampledAfterTheDrain) {
+  // OpenLoopRoundStats.occupancy is pinned to the POST-drain queue
+  // depths: after any round, occupancy[k] must equal the mempool's live
+  // size and their sum must equal the reported backlog. A pre-drain
+  // sample would double-count the transactions the round just serviced
+  // (see src/ledger/README.md).
+  const Params p = openloop_params(10, 1.3);
+  Engine engine(p, {});
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    const auto report = engine.run_round();
+    const auto& ol = report.open_loop;
+    ASSERT_EQ(ol.occupancy.size(), engine.mempools().size());
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < ol.occupancy.size(); ++k) {
+      EXPECT_EQ(ol.occupancy[k], engine.mempools()[k].size());
+      total += ol.occupancy[k];
+    }
+    EXPECT_EQ(total, ol.backlog);
+  }
+}
+
+TEST(OpenLoopEngine, LatencyShardsParallelTheLatencySamples) {
+  const Params p = openloop_params(11, 0.8);
+  Engine engine(p, {});
+  const auto report = engine.run(3);
+  std::size_t samples = 0;
+  for (const auto& r : report.rounds) {
+    const auto& ol = r.open_loop;
+    ASSERT_EQ(ol.latency_shards.size(), ol.latencies.size());
+    for (const auto shard : ol.latency_shards) EXPECT_LT(shard, p.m);
+    samples += ol.latencies.size();
+  }
+  EXPECT_GT(samples, 0u);
+}
+
 }  // namespace
 }  // namespace cyc::protocol
